@@ -1,0 +1,66 @@
+"""Ablation: the END action (§IV-B).
+
+The paper adds an END action (reward 0) so a converged agent can stop
+instead of accumulating -1 punishments, which "effectively quickens the
+velocity of convergence".  We train with and without END on the mini world
+and compare late-training returns and episode lengths.
+"""
+
+import numpy as np
+from conftest import run_and_print
+
+from repro.config import smoke_scale
+from repro.data.datasets import generate_dataset, train_test_split
+from repro.experiments.common import ExperimentReport
+from repro.labels import build_label_space
+from repro.rl.training import train_agent
+from repro.zoo.builder import build_zoo
+from repro.zoo.oracle import GroundTruth
+from repro.analysis.tables import format_table
+
+
+def _run(_ctx) -> ExperimentReport:
+    scale = smoke_scale()
+    space = build_label_space("mini")
+    zoo = build_zoo(scale.world, space)
+    dataset = generate_dataset(space, scale.world, "mscoco2017", 200)
+    train, _ = train_test_split(dataset)
+    truth = GroundTruth(zoo, dataset, scale.world)
+    ids = [i.item_id for i in train]
+
+    rows = []
+    measured = {}
+    for use_end in (True, False):
+        config = scale.train.with_(episodes=300, use_end_action=use_end)
+        result = train_agent("dueling_dqn", truth, ids, config)
+        late_return = float(np.mean(result.episode_returns[-50:]))
+        late_length = float(np.mean(result.episode_lengths[-50:]))
+        tag = "with END" if use_end else "without END"
+        measured[f"return_{'end' if use_end else 'noend'}"] = late_return
+        measured[f"length_{'end' if use_end else 'noend'}"] = late_length
+        rows.append((tag, f"{late_return:.2f}", f"{late_length:.1f}"))
+
+    table = format_table(
+        ("variant", "late-episode return", "late-episode length"),
+        rows,
+        title="Ablation: END action (mini world, 300 episodes)",
+    )
+    summary = (
+        "expected: END keeps late returns higher (the agent stops instead "
+        "of eating -1 punishments) and episodes shorter than the zoo size"
+    )
+    return ExperimentReport(
+        experiment="ablation_end",
+        title="END action ablation",
+        text=table + "\n" + summary,
+        measured=measured,
+    )
+
+
+def test_ablation_end_action(benchmark):
+    report = run_and_print(benchmark, "ablation_end", _run)
+    m = report.measured
+    # Without END, every episode must grind through the whole zoo.
+    assert m["length_noend"] > m["length_end"]
+    # With END the agent avoids punishment tails.
+    assert m["return_end"] >= m["return_noend"] - 1e-6

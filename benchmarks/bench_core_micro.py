@@ -1,0 +1,52 @@
+"""Microbenchmarks of the core hot paths.
+
+These are true pytest-benchmark timings (many rounds): the ground-truth
+replay step, Algorithm 1 scheduling of one item, Algorithm 2 scheduling of
+one item, and a full Q-greedy rollout.
+"""
+
+from conftest import shared_context
+
+from repro.core.state import LabelingState
+from repro.scheduling.base import run_ordering_policy
+from repro.scheduling.deadline import CostQGreedyScheduler
+from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
+from repro.scheduling.qgreedy import QGreedyPolicy
+
+
+def _setup():
+    ctx = shared_context()
+    truth = ctx.ensure_truth("mscoco2017")
+    item_id = ctx.eval_ids("mscoco2017", 5)[0]
+    predictor = ctx.predictor("mscoco2017", "dueling_dqn")
+    return ctx, truth, item_id, predictor
+
+
+def test_state_execute_all_models(benchmark):
+    ctx, truth, item_id, _ = _setup()
+
+    def run():
+        state = LabelingState(truth, item_id)
+        for j in range(len(ctx.zoo)):
+            state.execute(j)
+        return state.value
+
+    benchmark(run)
+
+
+def test_algorithm1_schedule_one_item(benchmark):
+    _, truth, item_id, predictor = _setup()
+    scheduler = CostQGreedyScheduler(predictor)
+    benchmark(lambda: scheduler.schedule(truth, item_id, 1.0))
+
+
+def test_algorithm2_schedule_one_item(benchmark):
+    _, truth, item_id, predictor = _setup()
+    scheduler = MemoryDeadlineScheduler(predictor)
+    benchmark(lambda: scheduler.schedule(truth, item_id, 1.0, 12000.0))
+
+
+def test_qgreedy_full_rollout(benchmark):
+    _, truth, item_id, predictor = _setup()
+    policy = QGreedyPolicy(predictor)
+    benchmark(lambda: run_ordering_policy(policy, truth, item_id))

@@ -1,0 +1,14 @@
+"""Fig. 2 / §II: no policy (5.16 s) vs random (4.64 s) vs optimal (1.14 s)."""
+
+from conftest import run_and_print
+
+from repro.experiments import fig02_motivation
+
+
+def test_fig02_motivation(benchmark):
+    report = run_and_print(benchmark, "fig02", fig02_motivation.run)
+    m = report.measured
+    # Paper shape: optimal << random < no policy.
+    assert m["optimal_time"] < m["random_time"] < m["no_policy_time"]
+    # The optimal policy skips at least half of the compute (paper: 78%).
+    assert m["optimal_fraction"] < 0.5

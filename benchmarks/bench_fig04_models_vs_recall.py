@@ -1,0 +1,21 @@
+"""Fig. 4: avg #executed models vs recall — 4 DRL agents x 3 datasets.
+
+Paper: DuelingDQN (the best agent) saves 44.1-60.6% of model executions at
+0.8 recall and 48.4-50.0% at 1.0 recall, vs the random policy; the optimal
+oracle saves 79.3-84.0% at 0.8.
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig04_05_prediction
+
+
+def test_fig04_models_vs_recall(benchmark):
+    report = run_and_print(benchmark, "fig04_05", fig04_05_prediction.run)
+    m = report.measured
+    # Agent sits strictly between random (0 saving) and oracle on every set.
+    assert m["dueling_models_saved_at_0.8_low"] > 0.15
+    for dataset in ("mscoco2017", "mirflickr25", "places365"):
+        agent = m[f"{dataset}_dueling_models_saved_at_0.8"]
+        oracle = m[f"{dataset}_optimal_models_saved_at_0.8"]
+        assert 0.0 < agent <= oracle

@@ -1,0 +1,16 @@
+"""Fig. 5: avg execution time vs recall (same sweep as Fig. 4).
+
+Paper: the DRL agent saves 45.6-59.5% execution time at 0.8 recall and
+48.6-51.2% at 1.0, vs the random policy.
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig04_05_prediction
+
+
+def test_fig05_time_vs_recall(benchmark):
+    report = run_and_print(benchmark, "fig04_05", fig04_05_prediction.run)
+    m = report.measured
+    assert m["dueling_time_saved_at_0.8_low"] > 0.15
+    assert m["dueling_time_saved_at_0.8_high"] <= 1.0

@@ -1,0 +1,11 @@
+"""Fig. 7: qualitative execution sequence scheduled by the DuelingDQN agent."""
+
+from conftest import run_and_print
+
+from repro.experiments import fig07_sequence
+
+
+def test_fig07_sequence(benchmark):
+    report = run_and_print(benchmark, "fig07", fig07_sequence.run)
+    # A handful of well-chosen models should recall most of the item's value.
+    assert report.measured["recall_after_sequence"] > 0.5

@@ -1,0 +1,20 @@
+"""Fig. 8: cross-dataset transfer (Stanford40 <-> VOC2012).
+
+Paper: both agents beat random on both test sets (51.1% / 36.9% average
+time saved), even when trained on the other dataset.
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig08_transfer
+
+
+def test_fig08_transfer(benchmark):
+    report = run_and_print(benchmark, "fig08", fig08_transfer.run)
+    m = report.measured
+    for tag in ("dataset1", "dataset2"):
+        # Every agent (native and transferred) beats random on this set.
+        assert m[f"agent1_{tag}_time"] < m[f"random_{tag}_time"]
+        assert m[f"agent2_{tag}_time"] < m[f"random_{tag}_time"]
+        # And the oracle lower-bounds everyone.
+        assert m[f"optimal_{tag}_time"] <= m[f"agent1_{tag}_time"]

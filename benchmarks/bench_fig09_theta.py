@@ -1,0 +1,18 @@
+"""Fig. 9: theta priority pulls the face detector forward in the order.
+
+Paper (DuelingDQN): avg selection order 28.9 / 27.4 / 4.0 / 3.0 for
+theta = 1 / 2 / 5 / 10, with total-time savings stable at 48-54%.
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig09_theta
+
+
+def test_fig09_theta(benchmark):
+    report = run_and_print(benchmark, "fig09", fig09_theta.run)
+    m = report.measured
+    # Raising theta must move the face detector earlier...
+    assert m["order_theta_20"] < m["order_theta_1"]
+    # ...without giving up the scheduling efficiency (still beats random).
+    assert m["time_saved_theta_20"] > 0.0

@@ -1,0 +1,19 @@
+"""Fig. 10: Algorithm 1 under deadlines vs Q-greedy / random / optimal*.
+
+Paper: +188.7-309.5% recall over random at a 0.5 s deadline; performance
+ratio to optimal* above 1 - 1/e in most cases.
+"""
+
+import numpy as np
+from conftest import run_and_print
+
+from repro.experiments import fig10_deadline
+
+
+def test_fig10_deadline(benchmark):
+    report = run_and_print(benchmark, "fig10", fig10_deadline.run)
+    m = report.measured
+    # Large improvement over random under a tight budget...
+    assert m["improvement_at_0.5s_low"] > 0.3
+    # ...and the 1 - 1/e quality bar of the paper's Fig. 10(d).
+    assert m["min_ratio"] > 1 - 1 / np.e

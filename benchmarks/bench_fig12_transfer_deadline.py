@@ -1,0 +1,17 @@
+"""Fig. 12: transferred agents under deadline constraints.
+
+Paper: at a 1.0 s deadline, Agent1/Agent2 improve recalled value over
+random by +346.8%/+224.9% on Dataset1 and +250.5%/+190.5% on Dataset2.
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig12_transfer_deadline
+
+
+def test_fig12_transfer_deadline(benchmark):
+    report = run_and_print(benchmark, "fig12", fig12_transfer_deadline.run)
+    m = report.measured
+    # Both agents beat random on both datasets, including cross-trained.
+    for key, value in m.items():
+        assert value > 0.0, key

@@ -1,0 +1,76 @@
+"""Extension (§VIII future work): the model-relationship graph policy.
+
+The paper's conclusion calls for fast construction of a model-relationship
+graph.  We build it in one counting pass over the training recordings and
+schedule with its posterior-usefulness ranking.  Expected ordering of
+policies at 0.8 recall:
+
+    optimal  <  DRL agent  <=  graph  <  rules/random
+
+i.e. the automatically-learned graph beats the handcrafted Table II rules
+and approaches the DRL agent, while remaining fully interpretable.
+"""
+
+import numpy as np
+from conftest import run_and_print
+
+from repro.analysis.metrics import average_cost_curves
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentReport
+from repro.graph import GraphPolicy, build_relationship_graph
+from repro.scheduling.base import run_ordering_policy
+from repro.scheduling.optimal import OptimalPolicy
+from repro.scheduling.qgreedy import QGreedyPolicy
+from repro.scheduling.random_policy import RandomPolicy
+from repro.scheduling.rules import RuleBasedPolicy
+
+
+def _run(ctx) -> ExperimentReport:
+    dataset = "mscoco2017"
+    truth = ctx.ensure_truth(dataset)
+    train, _ = ctx.splits(dataset)
+    item_ids = ctx.eval_ids(dataset)
+    graph = build_relationship_graph(truth, [i.item_id for i in train])
+
+    policies = {
+        "random": RandomPolicy(seed=2),
+        "rules": RuleBasedPolicy(seed=2),
+        "graph": GraphPolicy(graph),
+        "dueling_dqn": QGreedyPolicy(ctx.predictor(dataset, "dueling_dqn")),
+        "optimal": OptimalPolicy(),
+    }
+    rows = []
+    measured = {}
+    for name, policy in policies.items():
+        traces = [run_ordering_policy(policy, truth, i) for i in item_ids]
+        curve = average_cost_curves(name, traces)
+        models_08 = curve.at(0.8)[0]
+        time_08 = curve.at(0.8)[1]
+        measured[f"{name}_models_at_0.8"] = models_08
+        rows.append((name, f"{models_08:.2f}", f"{time_08:.3f}"))
+
+    table = format_table(
+        ("policy", "avg models @0.8", "avg time @0.8 (s)"),
+        rows,
+        title=f"Model-relationship graph policy ({dataset})",
+    )
+    edges = graph.strongest_edges(k=6)
+    learned = "\n".join(
+        f"  {s} -> {t} (lift {l:.2f})" for s, t, l in edges
+    )
+    return ExperimentReport(
+        experiment="graph_policy",
+        title="Auto-learned model-relationship graph (§VIII)",
+        text=table + "\nstrongest learned relationships:\n" + learned,
+        measured=measured,
+    )
+
+
+def test_graph_policy(benchmark):
+    report = run_and_print(benchmark, "graph_policy", _run)
+    m = report.measured
+    # The learned graph must beat handcrafted rules and random...
+    assert m["graph_models_at_0.8"] < m["rules_models_at_0.8"]
+    assert m["graph_models_at_0.8"] < m["random_models_at_0.8"]
+    # ...and no interpretable policy beats the oracle.
+    assert m["optimal_models_at_0.8"] <= m["graph_models_at_0.8"]

@@ -1,0 +1,14 @@
+"""Section I headline claims: 53.1% time saved at full recall, ~70% at 0.8
+recall (vs no policy), and +132-310% value under a 0.5 s budget."""
+
+from conftest import run_and_print
+
+from repro.experiments import headline
+
+
+def test_headline_claims(benchmark):
+    report = run_and_print(benchmark, "headline", headline.run)
+    m = report.measured
+    assert m["time_saved_at_1.0"] > 0.3  # paper: 53.1%
+    assert m["time_saved_at_0.8"] > 0.5  # paper: ~70%
+    assert m["improvement_at_0.5s_low"] > 0.3  # paper: +132% lower bound

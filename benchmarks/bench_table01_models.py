@@ -1,0 +1,12 @@
+"""Table I: zoo summary — 10 tasks, 30 models, 1104 labels."""
+
+from conftest import run_and_print
+
+from repro.experiments import table01_models
+
+
+def test_table01_models(benchmark):
+    report = run_and_print(benchmark, "table01", table01_models.run)
+    assert report.measured["n_models"] == 30
+    assert report.measured["n_labels"] == 1104
+    assert report.measured["n_tasks"] == 10

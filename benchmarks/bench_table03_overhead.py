@@ -1,0 +1,32 @@
+"""Table III: DRL agent overhead (3-6 ms / ~100 MB in the paper) vs models.
+
+This bench also exercises pytest-benchmark properly: the per-selection
+latency is measured with real timing rounds on top of the experiment's own
+measurement.
+"""
+
+import numpy as np
+from conftest import run_and_print, shared_context
+
+from repro.experiments import table03_overhead
+
+
+def test_table03_overhead(benchmark):
+    report = run_and_print(benchmark, "table03", table03_overhead.run)
+    m = report.measured
+    # Selection must be negligible next to the cheapest model execution.
+    assert m["selection_ms"] < m["model_ms_low"] / 5
+
+
+def test_selection_latency_micro(benchmark):
+    """Microbenchmark: one Q forward pass + argmax (a 'selection')."""
+    ctx = shared_context()
+    agent = ctx.agent("mscoco2017", "dueling_dqn")
+    obs = (np.random.default_rng(0).random(len(ctx.space)) < 0.02).astype(
+        np.float64
+    )
+
+    def select():
+        return int(np.argmax(agent.q_values(obs)))
+
+    benchmark(select)

@@ -1,0 +1,89 @@
+"""Shared-GPU labeling under memory + deadline budgets (Algorithm 2, §V-B).
+
+A labeling service shares one GPU across parallel model executions: models
+can run concurrently as long as their summed memory fits the card.  This
+example compares Algorithm 2's packing against random packing across
+several (deadline, memory) operating points, printing the recall each
+achieves — a miniature of the paper's Fig. 11.
+"""
+
+import numpy as np
+
+from repro import WorldConfig, build_zoo
+from repro.config import TrainConfig
+from repro.data.datasets import generate_dataset, train_test_split
+from repro.labels import build_label_space
+from repro.rl.training import train_agent
+from repro.scheduling.deadline_memory import (
+    MemoryDeadlineScheduler,
+    RandomMemoryDeadlineScheduler,
+)
+from repro.scheduling.qgreedy import AgentPredictor
+from repro.zoo.oracle import GroundTruth
+
+OPERATING_POINTS = (
+    (0.05, 8000.0),
+    (0.10, 8000.0),
+    (0.10, 16000.0),
+    (0.15, 8000.0),
+    (0.25, 16000.0),
+)
+
+
+def main() -> None:
+    config = WorldConfig(vocab_scale="mini", zoo_total_time=1.0)
+    space = build_label_space(config.vocab_scale)
+    zoo = build_zoo(config, space)
+    dataset = generate_dataset(space, config, "voc2012", 300)
+    train, test = train_test_split(dataset)
+    truth = GroundTruth(zoo, dataset, config)
+    result = train_agent(
+        "dueling_dqn",
+        truth,
+        [i.item_id for i in train],
+        config=TrainConfig(episodes=300, hidden_size=32),
+    )
+    predictor = AgentPredictor(result.agent, len(zoo))
+    test_ids = [i.item_id for i in test][:50]
+
+    print("recall of label value by (deadline, GPU memory):\n")
+    header = (
+        f"{'deadline':>9s} {'memory':>8s} {'algorithm2':>11s} "
+        f"{'random':>8s} {'gain':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for deadline, memory in OPERATING_POINTS:
+        ours = np.mean(
+            [
+                MemoryDeadlineScheduler(predictor)
+                .schedule(truth, i, deadline, memory)
+                .recall_by(deadline)
+                for i in test_ids
+            ]
+        )
+        rand = np.mean(
+            [
+                RandomMemoryDeadlineScheduler(seed=3)
+                .schedule(truth, i, deadline, memory)
+                .recall_by(deadline)
+                for i in test_ids
+            ]
+        )
+        gain = (ours / rand - 1) if rand > 0 else float("inf")
+        print(
+            f"{deadline:8.2f}s {memory / 1000:6.0f}GB {ours:11.1%} "
+            f"{rand:8.1%} {gain:+7.0%}"
+        )
+    print(
+        "\nAlgorithm 2 matters most when memory is scarce relative to the "
+        "models — with abundant memory even random packing saturates "
+        "(the paper's Fig. 11 trend).  In the fully saturated corner "
+        "(everything fits concurrently) the greedy value-per-memory "
+        "heuristic can even lose a large model to many small ones; that is "
+        "the regime where scheduling stops mattering altogether."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Surveillance monitoring with model priorities (theta, §VI-E).
+
+A surveillance system wants faces of involved persons (the face detector)
+reported with minimal delay when compute is scarce, without
+giving up overall labeling efficiency.  The paper's mechanism: raise the
+model's theta in the reward function (Eq. 3) so the trained agent schedules
+it earlier.
+
+This example trains two agents — neutral and priority — and compares when
+the action classifier runs and what that does to total labeling cost.
+"""
+
+import numpy as np
+
+from repro import WorldConfig, build_zoo
+from repro.config import TrainConfig
+from repro.core.reward import RewardConfig
+from repro.data.datasets import generate_dataset, train_test_split
+from repro.labels import build_label_space
+from repro.rl.training import train_agent
+from repro.scheduling.base import run_ordering_policy
+from repro.scheduling.qgreedy import AgentPredictor, QGreedyPolicy
+from repro.zoo.oracle import GroundTruth
+
+PRIORITY_MODEL = "mini_face_det"  # identify involved persons ASAP
+THETA = 10.0
+
+
+def train_and_measure(truth, train_ids, test_ids, zoo, reward_config, tag):
+    result = train_agent(
+        "dueling_dqn",
+        truth,
+        train_ids,
+        config=TrainConfig(episodes=300, hidden_size=32),
+        reward_config=reward_config,
+    )
+    policy = QGreedyPolicy(AgentPredictor(result.agent, len(zoo)))
+    target_index = zoo.index_of(PRIORITY_MODEL)
+    positions, full_costs = [], []
+    for item_id in test_ids:
+        trace = run_ordering_policy(policy, truth, item_id)
+        for position, execution in enumerate(trace.executions, start=1):
+            if execution.model_index == target_index:
+                positions.append(position)
+                break
+        _, cost = trace.cost_to_recall(1.0)
+        full_costs.append(cost)
+    print(
+        f"{tag:18s} priority model runs at position "
+        f"{np.mean(positions):4.1f}/{len(zoo)} on average; "
+        f"time to all labels {np.mean(full_costs):.2f}s"
+    )
+    return float(np.mean(positions))
+
+
+def main() -> None:
+    config = WorldConfig(vocab_scale="mini", zoo_total_time=1.0)
+    space = build_label_space(config.vocab_scale)
+    zoo = build_zoo(config, space)
+    # Stanford40 profile: action-rich scenes, like surveillance footage of
+    # human activity.
+    dataset = generate_dataset(space, config, "stanford40", 300)
+    train, test = train_test_split(dataset)
+    truth = GroundTruth(zoo, dataset, config)
+    train_ids = [i.item_id for i in train]
+    test_ids = [i.item_id for i in test][:50]
+
+    print(f"priority model: {PRIORITY_MODEL} (theta={THETA:g})\n")
+    neutral = train_and_measure(
+        truth, train_ids, test_ids, zoo, None, "neutral agent"
+    )
+    boosted = train_and_measure(
+        truth,
+        train_ids,
+        test_ids,
+        zoo,
+        RewardConfig(theta={PRIORITY_MODEL: THETA}),
+        "priority agent",
+    )
+    print(
+        f"\ntheta pulled the priority model from position {neutral:.1f} to "
+        f"{boosted:.1f} — earlier evidence at (nearly) unchanged total cost, "
+        "the paper's Fig. 9 behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Analysis layer: metrics, CDFs, and text rendering of tables/figures."""
+
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.metrics import (
+    PolicyCurve,
+    average_cost_curves,
+    performance_ratio,
+    savings,
+)
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "empirical_cdf",
+    "PolicyCurve",
+    "average_cost_curves",
+    "performance_ratio",
+    "savings",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,34 @@
+"""Empirical CDFs (Figs. 2 and 8 report per-image time-cost CDFs)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def empirical_cdf(
+    samples: Sequence[float], grid: Sequence[float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) of the empirical CDF of ``samples``.
+
+    When ``grid`` is omitted the sorted sample points are used, which is
+    exact; a grid gives fixed x positions for table rendering.
+    """
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    if grid is None:
+        x = data
+        y = np.arange(1, data.size + 1) / data.size
+    else:
+        x = np.asarray(grid, dtype=np.float64)
+        y = np.searchsorted(data, x, side="right") / data.size
+    return x, y
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """q-quantile of the samples (0 <= q <= 1)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    return float(np.quantile(np.asarray(samples, dtype=np.float64), q))

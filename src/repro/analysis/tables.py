@@ -1,0 +1,47 @@
+"""ASCII rendering of result tables and figure series.
+
+The benchmark harness prints, for every table and figure of the paper, the
+rows/series the paper reports next to our measured values; these helpers
+keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Left-aligned monospace table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """A figure rendered as a table: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [f"{x:g}"] + [
+            f"{values[i]:.{precision}f}" for values in series.values()
+        ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,208 @@
+"""Command-line interface for the library.
+
+Subcommands mirror the adoption workflow:
+
+* ``record``   — execute the zoo on a generated dataset and store the
+  ground-truth archive (the paper's offline data-collection step);
+* ``train``    — train a DRL value-prediction agent on an archive;
+* ``schedule`` — label items from an archive with a trained agent under
+  optional deadline / memory budgets;
+* ``zoo``      — print the Table I summary of the model zoo;
+* ``graph``    — build the model-relationship graph and print its
+  strongest learned relationships (the auto-learned Table II).
+
+Example::
+
+    python -m repro.cli record --dataset mscoco2017 --items 500 --out gt.npz
+    python -m repro.cli train --truth gt.npz --algo dueling_dqn --out agent.npz
+    python -m repro.cli schedule --truth gt.npz --agent agent.npz --deadline 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.config import TrainConfig, WorldConfig
+from repro.data.datasets import generate_dataset, train_test_split
+from repro.graph import build_relationship_graph
+from repro.labels import build_label_space
+from repro.persistence import load_ground_truth, save_ground_truth
+from repro.rl.agents import AGENT_REGISTRY, make_agent
+from repro.rl.training import train_agent
+from repro.scheduling.deadline import CostQGreedyScheduler
+from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
+from repro.scheduling.qgreedy import AgentPredictor
+from repro.zoo.builder import build_zoo
+
+
+def _world(args) -> tuple:
+    config = WorldConfig(vocab_scale=args.scale, seed=args.seed)
+    space = build_label_space(config.vocab_scale)
+    zoo = build_zoo(config, space)
+    return config, space, zoo
+
+
+def cmd_record(args) -> int:
+    config, space, zoo = _world(args)
+    dataset = generate_dataset(space, config, args.dataset, args.items)
+    from repro.zoo.oracle import GroundTruth
+
+    truth = GroundTruth(zoo, dataset, config)
+    save_ground_truth(truth, args.out)
+    print(
+        f"recorded {len(truth)} items x {len(zoo)} models -> {args.out} "
+        f"(useful executions: {truth.useful_execution_fraction():.1%})"
+    )
+    return 0
+
+
+def cmd_train(args) -> int:
+    config, _, zoo = _world(args)
+    truth = load_ground_truth(zoo, args.truth, config)
+    item_ids = list(truth.item_ids)
+    train_ids, _ = _split_ids(item_ids, args.seed)
+    result = train_agent(
+        args.algo,
+        truth,
+        train_ids,
+        config=TrainConfig(episodes=args.episodes, hidden_size=args.hidden),
+    )
+    result.agent.save(args.out)
+    returns = result.smoothed_returns(20)
+    tail = float(returns[-1]) if len(returns) else float("nan")
+    print(
+        f"trained {args.algo} for {args.episodes} episodes "
+        f"({result.total_steps} steps, final smoothed return {tail:.2f}) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    config, space, zoo = _world(args)
+    truth = load_ground_truth(zoo, args.truth, config)
+    agent = make_agent(
+        args.algo,
+        obs_dim=len(space),
+        n_actions=len(zoo) + 1,
+        hidden_size=args.hidden,
+    )
+    agent.load(args.agent)
+    predictor = AgentPredictor(agent, len(zoo))
+    _, eval_ids = _split_ids(list(truth.item_ids), args.seed)
+    eval_ids = eval_ids[: args.items]
+
+    recalls = []
+    for item_id in eval_ids:
+        if args.memory is not None:
+            trace = MemoryDeadlineScheduler(predictor).schedule(
+                truth, item_id, args.deadline, args.memory
+            )
+        else:
+            trace = CostQGreedyScheduler(predictor).schedule(
+                truth, item_id, args.deadline
+            )
+        recalls.append(trace.recall_by(args.deadline))
+        if args.verbose:
+            models = ", ".join(e.model_name for e in trace.executions)
+            print(f"{item_id}: recall {recalls[-1]:.1%} [{models}]")
+    print(
+        f"scheduled {len(eval_ids)} items under deadline={args.deadline}s"
+        + (f", memory={args.memory}MB" if args.memory is not None else "")
+        + f": mean value recall {np.mean(recalls):.1%}"
+    )
+    return 0
+
+
+def cmd_zoo(args) -> int:
+    _, space, zoo = _world(args)
+    print(f"{'model':26s} {'task':24s} {'time':>7s} {'memory':>9s}")
+    for model in zoo:
+        print(
+            f"{model.name:26s} {model.task:24s} {model.time * 1000:5.0f}ms "
+            f"{model.mem:7.0f}MB"
+        )
+    print(
+        f"\n{len(zoo)} models, {len(space)} labels, "
+        f"{zoo.total_time:.2f}s to execute everything"
+    )
+    return 0
+
+
+def cmd_graph(args) -> int:
+    config, _, zoo = _world(args)
+    truth = load_ground_truth(zoo, args.truth, config)
+    graph = build_relationship_graph(truth)
+    print("strongest learned model relationships (lift of usefulness):")
+    for source, target, lift in graph.strongest_edges(args.top):
+        print(f"  {source:26s} -> {target:26s} lift {lift:5.2f}")
+    exported = graph.to_networkx(min_lift_ratio=args.min_lift)
+    print(
+        f"\nnetworkx export at min lift ratio {args.min_lift}: "
+        f"{exported.number_of_nodes()} nodes, "
+        f"{exported.number_of_edges()} edges"
+    )
+    return 0
+
+
+def _split_ids(item_ids: list[str], seed: int) -> tuple[list[str], list[str]]:
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(item_ids))
+    n_train = max(1, len(item_ids) // 5)
+    train = [item_ids[i] for i in sorted(perm[:n_train])]
+    test = [item_ids[i] for i in sorted(perm[n_train:])]
+    return train, test
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--scale", default="full", choices=("full", "mini"))
+    parser.add_argument("--seed", type=int, default=20200208)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record", help="execute the zoo and store ground truth")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--items", type=int, default=500)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("train", help="train a value-prediction agent")
+    p.add_argument("--truth", required=True)
+    p.add_argument("--algo", default="dueling_dqn", choices=sorted(AGENT_REGISTRY))
+    p.add_argument("--episodes", type=int, default=400)
+    p.add_argument("--hidden", type=int, default=256)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("schedule", help="label items under budgets")
+    p.add_argument("--truth", required=True)
+    p.add_argument("--agent", required=True)
+    p.add_argument("--algo", default="dueling_dqn", choices=sorted(AGENT_REGISTRY))
+    p.add_argument("--hidden", type=int, default=256)
+    p.add_argument("--deadline", type=float, default=0.5)
+    p.add_argument("--memory", type=float, default=None)
+    p.add_argument("--items", type=int, default=50)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("zoo", help="print the model zoo (Table I)")
+    p.set_defaults(func=cmd_zoo)
+
+    p = sub.add_parser("graph", help="model-relationship graph from a recording")
+    p.add_argument("--truth", required=True)
+    p.add_argument("--top", type=int, default=15)
+    p.add_argument("--min-lift", type=float, default=1.5)
+    p.set_defaults(func=cmd_graph)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""The Adaptive Model Scheduling framework — the paper's Fig. 3 loop.
+
+:class:`AdaptiveModelScheduler` is the public entry point a downstream user
+adopts: build (or load) a zoo, train (or load) a DRL value predictor, then
+label items/streams under whatever constraints apply:
+
+* no constraint  -> Q-greedy with value-aware early stopping,
+* deadline       -> Algorithm 1,
+* deadline+memory-> Algorithm 2.
+
+The "prediction-scheduling-execution" loop is internal; callers get back a
+:class:`~repro.core.labeling.LabelingResult` with the labels, confidences,
+and the executed-model trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.config import TrainConfig, WorldConfig
+from repro.core.output import LabelOutput
+from repro.core.reward import RewardConfig
+from repro.data.datasets import DataItem
+from repro.rl.agents import QAgent
+from repro.rl.training import TrainingResult, train_agent
+from repro.scheduling.base import ScheduleTrace, run_ordering_policy
+from repro.scheduling.deadline import CostQGreedyScheduler
+from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
+from repro.scheduling.qgreedy import AgentPredictor, QGreedyPolicy
+from repro.zoo.model import ModelZoo
+from repro.zoo.oracle import GroundTruth
+
+
+@dataclass
+class LabelingResult:
+    """What the framework returns for one labeled item."""
+
+    item_id: str
+    #: All valuable labels obtained, with confidences.
+    labels: list[LabelOutput]
+    #: The underlying execution trace (models, times, marginal values).
+    trace: ScheduleTrace
+
+    @property
+    def label_names(self) -> list[str]:
+        return [l.name for l in self.labels]
+
+    @property
+    def models_executed(self) -> list[str]:
+        return [e.model_name for e in self.trace.executions]
+
+    @property
+    def time_used(self) -> float:
+        return self.trace.makespan
+
+    @property
+    def recall(self) -> float:
+        return self.trace.recall
+
+
+class AdaptiveModelScheduler:
+    """End-to-end adaptive model scheduling over a model zoo.
+
+    Parameters
+    ----------
+    zoo:
+        The model collection ``M``.
+    world_config:
+        World parameters (valuable-confidence threshold etc.).
+    agent:
+        A trained Q agent; when omitted, call :meth:`train` first.
+    """
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        world_config: WorldConfig | None = None,
+        agent: QAgent | None = None,
+    ):
+        self.zoo = zoo
+        self.world_config = world_config or WorldConfig()
+        self.agent = agent
+        self._training: TrainingResult | None = None
+
+    # -- training -----------------------------------------------------------
+
+    def train(
+        self,
+        items: Sequence[DataItem],
+        algo: str = "dueling_dqn",
+        train_config: TrainConfig | None = None,
+        reward_config: RewardConfig | None = None,
+        truth: GroundTruth | None = None,
+    ) -> TrainingResult:
+        """Train the value-prediction agent on labeled training items.
+
+        ``truth`` may be passed to reuse an existing ground-truth cache;
+        otherwise the zoo is executed on the items to record outputs
+        (the paper's offline data-collection step).
+        """
+        if truth is None:
+            truth = GroundTruth(self.zoo, items, self.world_config)
+        else:
+            truth.add_items(items)
+        result = train_agent(
+            algo,
+            truth,
+            [item.item_id for item in items],
+            config=train_config,
+            reward_config=reward_config,
+        )
+        self.agent = result.agent
+        self._training = result
+        return result
+
+    # -- labeling -------------------------------------------------------------
+
+    def _predictor(self) -> AgentPredictor:
+        if self.agent is None:
+            raise RuntimeError(
+                "no trained agent; call train() or pass agent= at construction"
+            )
+        return AgentPredictor(self.agent, len(self.zoo))
+
+    def _truth_for(self, item: DataItem, truth: GroundTruth | None) -> GroundTruth:
+        if truth is None:
+            truth = GroundTruth(self.zoo, [item], self.world_config)
+        else:
+            truth.add_items([item])
+        return truth
+
+    def _result(self, truth: GroundTruth, trace: ScheduleTrace) -> LabelingResult:
+        state_conf: dict[int, float] = {}
+        labels: dict[int, LabelOutput] = {}
+        for execution in trace.executions:
+            output = truth.output(trace.item_id, execution.model_index)
+            for label in output.valuable(truth.threshold):
+                seen = state_conf.get(label.label_id, 0.0)
+                if label.confidence > seen:
+                    state_conf[label.label_id] = label.confidence
+                    labels[label.label_id] = label
+        return LabelingResult(
+            item_id=trace.item_id,
+            labels=sorted(labels.values(), key=lambda l: -l.confidence),
+            trace=trace,
+        )
+
+    def label(
+        self,
+        item: DataItem,
+        deadline: float | None = None,
+        memory_budget: float | None = None,
+        max_models: int | None = None,
+        truth: GroundTruth | None = None,
+    ) -> LabelingResult:
+        """Label one item under the given constraints.
+
+        * ``deadline`` only — Algorithm 1 (serial).
+        * ``deadline`` + ``memory_budget`` — Algorithm 2 (parallel).
+        * neither — Q-greedy over all models (optionally capped by
+          ``max_models``).
+        """
+        truth = self._truth_for(item, truth)
+        predictor = self._predictor()
+        if memory_budget is not None:
+            if deadline is None:
+                raise ValueError("memory_budget requires a deadline")
+            trace = MemoryDeadlineScheduler(predictor).schedule(
+                truth, item.item_id, deadline, memory_budget
+            )
+        elif deadline is not None:
+            trace = CostQGreedyScheduler(predictor).schedule(
+                truth, item.item_id, deadline
+            )
+        else:
+            trace = run_ordering_policy(
+                QGreedyPolicy(predictor), truth, item.item_id, max_models=max_models
+            )
+        return self._result(truth, trace)
+
+    def label_stream(
+        self,
+        items: Iterable[DataItem],
+        deadline: float | None = None,
+        memory_budget: float | None = None,
+        truth: GroundTruth | None = None,
+    ) -> Iterable[LabelingResult]:
+        """Label a stream of items lazily (one result per input item)."""
+        for item in items:
+            yield self.label(
+                item,
+                deadline=deadline,
+                memory_budget=memory_budget,
+                truth=truth,
+            )

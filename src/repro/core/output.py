@@ -1,0 +1,52 @@
+"""Output containers shared by the zoo, the environment, and schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LabelOutput:
+    """One emitted label with its confidence."""
+
+    label_id: int
+    name: str
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.confidence:.2f})"
+
+
+@dataclass(frozen=True)
+class ModelOutput:
+    """Everything one model emitted for one item.
+
+    ``labels`` contains *all* emissions, including the low-confidence junk
+    of the paper's Fig. 1; use :meth:`valuable` to keep only labels at or
+    above the confidence threshold.
+    """
+
+    model: str
+    item_id: str
+    labels: tuple[LabelOutput, ...]
+
+    def valuable(self, threshold: float) -> tuple[LabelOutput, ...]:
+        """Labels whose confidence is at least ``threshold``."""
+        return tuple(l for l in self.labels if l.confidence >= threshold)
+
+    def valuable_arrays(self, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, confidences) of valuable labels as numpy arrays."""
+        picked = self.valuable(threshold)
+        ids = np.asarray([l.label_id for l in picked], dtype=np.int64)
+        confs = np.asarray([l.confidence for l in picked], dtype=np.float64)
+        return ids, confs
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.labels
+
+    def __str__(self) -> str:
+        body = ", ".join(str(l) for l in self.labels) or "<no output>"
+        return f"{self.model}: {body}"

@@ -1,0 +1,78 @@
+"""The reward function of Eq. (3), with theta priorities and END action.
+
+For a model ``m`` executed on item ``d``:
+
+* if the model emitted *new* valuable labels ``O'(m, d)`` (not already
+  produced by previously executed models):
+  ``r = ln(theta_m * sum(conf of new labels) + 1)``;
+* otherwise the agent receives the punishment ``-1``;
+* the END action is worth ``0`` (training only, §IV-B).
+
+The logarithmic smoothing prevents many-label tasks (face landmarks emit up
+to 70 labels) from drowning out single-label tasks (action classifiers),
+and ``theta_m`` lets users raise a model's priority (§VI-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+#: Reward of the END action.
+END_REWARD = 0.0
+#: Punishment when a model produces nothing new.
+EMPTY_PUNISHMENT = -1.0
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Per-model priorities and smoothing selection for Eq. (3)."""
+
+    #: Model name -> theta priority; unlisted models default to 1.0.
+    theta: dict[str, float] = field(default_factory=dict)
+    #: Smoothing applied to ``theta * sum(conf)``: "log" (paper default),
+    #: "mean" (average confidence — the paper's noted alternative), or
+    #: "identity" (raw sum — the problematic variant §IV-A motivates
+    #: against; kept for the ablation benchmark).
+    smoothing: str = "log"
+
+    def __post_init__(self) -> None:
+        if self.smoothing not in ("log", "mean", "identity"):
+            raise ValueError(f"unknown smoothing: {self.smoothing!r}")
+        for name, value in self.theta.items():
+            if value <= 0:
+                raise ValueError(f"theta for {name} must be positive, got {value}")
+
+    def theta_of(self, model_name: str) -> float:
+        return self.theta.get(model_name, 1.0)
+
+
+def reward_for_output(
+    new_confidences: np.ndarray,
+    theta: float = 1.0,
+    smoothing: str = "log",
+) -> float:
+    """Eq. (3): reward for one model execution.
+
+    Parameters
+    ----------
+    new_confidences:
+        Confidences of the *new* valuable labels the model emitted
+        (``O'(m, d)``); empty means punishment.
+    theta:
+        The model's user-defined priority.
+    smoothing:
+        See :class:`RewardConfig`.
+    """
+    if len(new_confidences) == 0:
+        return EMPTY_PUNISHMENT
+    total = float(np.sum(new_confidences))
+    if smoothing == "log":
+        return float(np.log(theta * total + 1.0))
+    if smoothing == "mean":
+        return float(theta * total / len(new_confidences))
+    if smoothing == "identity":
+        return float(theta * total)
+    raise ValueError(f"unknown smoothing: {smoothing!r}")

@@ -1,0 +1,106 @@
+"""The labeling state: the DRL agent's environment observation (§IV).
+
+The state is an ``n``-dimensional binary vector (``n = |L(M)|``) whose i-th
+bit records whether label i has been output (at valuable confidence) by any
+executed model.  :class:`LabelingState` also tracks which models were
+executed and the running value of the output set — bookkeeping every
+scheduling policy needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.zoo.oracle import GroundTruth
+
+
+class LabelingState:
+    """Mutable per-item labeling state shared by env and schedulers.
+
+    Value semantics follow Eq. (1) with the label profit ``p_i`` equal to
+    the best confidence at which label i has been emitted so far; re-emitting
+    a label at higher confidence contributes only the improvement, which
+    keeps the accumulated value monotone and submodular.
+    """
+
+    def __init__(self, truth: GroundTruth, item_id: str):
+        self.truth = truth
+        self.item_id = item_id
+        n_labels = len(truth.zoo.space)
+        self._bits = np.zeros(n_labels, dtype=np.float32)
+        self._conf = np.zeros(n_labels, dtype=np.float64)
+        self.executed = np.zeros(len(truth.zoo), dtype=bool)
+        self.value = 0.0
+        self.elapsed_time = 0.0
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def vector(self) -> np.ndarray:
+        """The binary observation vector (do not mutate)."""
+        return self._bits
+
+    @property
+    def confidences(self) -> np.ndarray:
+        """Best confidence per label so far (do not mutate)."""
+        return self._conf
+
+    @property
+    def n_executed(self) -> int:
+        return int(self.executed.sum())
+
+    @property
+    def remaining(self) -> np.ndarray:
+        """Indices of models not yet executed."""
+        return np.nonzero(~self.executed)[0]
+
+    @property
+    def all_executed(self) -> bool:
+        return bool(self.executed.all())
+
+    @property
+    def total_value(self) -> float:
+        """f(M, d): the best achievable value on this item."""
+        return self.truth.total_value(self.item_id)
+
+    @property
+    def recall(self) -> float:
+        """Recall rate of true output value accumulated so far."""
+        total = self.total_value
+        return self.value / total if total > 0 else 1.0
+
+    # -- transitions -----------------------------------------------------------
+
+    def execute(self, model_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Execute one model; returns its (new_ids, new_confs) contribution.
+
+        "New" follows the paper's ``O'(m, d)``: labels (or confidence
+        improvements) not already provided by previously executed models.
+        Raises if the model was already executed — schedulers must not
+        re-run models.
+        """
+        if self.executed[model_index]:
+            raise ValueError(
+                f"model index {model_index} already executed on {self.item_id}"
+            )
+        self.executed[model_index] = True
+        self.elapsed_time += float(self.truth.zoo[model_index].time)
+        ids, confs = self.truth.valuable(self.item_id, model_index)
+        if len(ids) == 0:
+            return ids, confs
+        gains = np.maximum(confs - self._conf[ids], 0.0)
+        new_mask = gains > 0.0
+        np.maximum.at(self._conf, ids, confs)
+        self._bits[ids] = 1.0
+        self.value += float(gains.sum())
+        return ids[new_mask], confs[new_mask]
+
+    def copy(self) -> "LabelingState":
+        """An independent copy (used by look-ahead baselines)."""
+        clone = LabelingState(self.truth, self.item_id)
+        clone._bits = self._bits.copy()
+        clone._conf = self._conf.copy()
+        clone.executed = self.executed.copy()
+        clone.value = self.value
+        clone.elapsed_time = self.elapsed_time
+        return clone

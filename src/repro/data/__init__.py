@@ -1,0 +1,29 @@
+"""Synthetic data substrate: latent semantic content + dataset generators.
+
+The paper evaluates on five public image datasets.  We replace pixels with a
+*latent semantic world*: each :class:`~repro.data.semantics.SceneContent`
+records what is "in" an item (scene, objects, persons with faces / poses /
+emotions, an action, a dog breed).  The simulated models in
+:mod:`repro.zoo` read this latent content, so the scheduler faces the same
+decision problem as in the paper: which model will emit valuable labels for
+this item, given what other models have already emitted?
+"""
+
+from repro.data.datasets import DataItem, Dataset, train_test_split
+from repro.data.generator import WorldGenerator
+from repro.data.profiles import DATASET_PROFILES, DatasetProfile
+from repro.data.semantics import PersonContent, SceneContent
+from repro.data.streams import chunked_stream, iid_stream
+
+__all__ = [
+    "DataItem",
+    "Dataset",
+    "train_test_split",
+    "WorldGenerator",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "PersonContent",
+    "SceneContent",
+    "chunked_stream",
+    "iid_stream",
+]

@@ -1,0 +1,165 @@
+"""Cross-task semantic correlations of the synthetic world.
+
+The paper's DRL agent works *because* labels are correlated across models:
+a detected person hints at faces, poses and actions; a "pub" scene hints at
+cups and drinking; an indoor scene argues against wild animals.  This module
+encodes those correlations as conditional distributions over the vocabulary
+of :mod:`repro.vocab`, computed once per :class:`~repro.labels.LabelSpace`.
+
+All distributions are expressed over *local* label indices within each task
+so the mini (test) world gets the same structure automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labels import LabelSpace
+from repro.vocab import (
+    TASK_ACTION,
+    TASK_DOG,
+    TASK_OBJECT,
+    TASK_PLACE,
+)
+
+
+@dataclass(frozen=True)
+class SceneAffinities:
+    """Per-scene conditional structure derived from the vocabulary.
+
+    Attributes
+    ----------
+    indoor:
+        Boolean array over place indices: is this scene indoor?
+    object_affinity:
+        ``(n_places, n_objects)`` matrix; row ``s`` is the relative
+        propensity of each object category to appear in scene ``s``.
+    person_prob:
+        Per-scene probability that at least one person is present.
+    sport_scene:
+        Boolean array: scenes that host sport actions (outdoor courts etc.).
+    """
+
+    indoor: np.ndarray
+    object_affinity: np.ndarray
+    person_prob: np.ndarray
+    sport_scene: np.ndarray
+
+
+def _group_mask(names: tuple[str, ...], group: frozenset[str]) -> np.ndarray:
+    return np.asarray([n in group for n in names], dtype=bool)
+
+
+def build_scene_affinities(space: LabelSpace) -> SceneAffinities:
+    """Compute scene->object/person structure from vocabulary groups."""
+    vocab = space.vocabulary
+    place_names = vocab.labels_for(TASK_PLACE)
+    object_names = vocab.labels_for(TASK_OBJECT)
+    n_places = len(place_names)
+    n_objects = len(object_names)
+
+    indoor = _group_mask(place_names, vocab.indoor_places)
+
+    household = _group_mask(object_names, vocab.household_objects)
+    animals = _group_mask(object_names, vocab.animal_objects)
+    vehicles = _group_mask(object_names, vocab.vehicle_objects)
+    sport = _group_mask(object_names, vocab.sport_objects)
+    food = _group_mask(object_names, vocab.food_objects)
+    street = _group_mask(object_names, vocab.street_objects)
+
+    # Scene name heuristics give each scene a flavour; synthesized names
+    # inherit the flavour of their base scene because the base name is a
+    # suffix (e.g. "sunlit_pub" contains "pub").
+    def scene_has(substr_options: tuple[str, ...]) -> np.ndarray:
+        return np.asarray(
+            [any(s in name for s in substr_options) for name in place_names],
+            dtype=bool,
+        )
+
+    foodish = scene_has(
+        ("pub", "beer", "restaurant", "bar", "coffee", "bakery", "cafeteria",
+         "kitchen", "dining", "banquet", "supermarket", "pantry")
+    )
+    sportish = scene_has(
+        ("stadium", "court", "field", "gym", "ski", "pool", "golf",
+         "bowling", "playground")
+    )
+    streetish = scene_has(
+        ("street", "highway", "downtown", "crosswalk", "alley", "plaza",
+         "parking", "gas_station", "bridge")
+    )
+    naturish = scene_has(
+        ("mountain", "forest", "lake", "river", "ocean", "desert", "canyon",
+         "cliff", "glacier", "marsh", "pasture", "farm", "zoo", "garden",
+         "orchard", "vineyard", "campsite", "volcano", "beach", "lawn",
+         "park", "picnic")
+    )
+
+    affinity = np.full((n_places, n_objects), 0.15, dtype=np.float64)
+    affinity[np.ix_(indoor, household)] += 0.9
+    affinity[np.ix_(indoor, animals)] -= 0.12
+    affinity[np.ix_(foodish, food)] += 1.1
+    affinity[np.ix_(sportish, sport)] += 1.2
+    affinity[np.ix_(streetish, vehicles)] += 1.0
+    affinity[np.ix_(streetish, street)] += 1.0
+    affinity[np.ix_(naturish, animals)] += 0.9
+    affinity[np.ix_(~indoor, vehicles)] += 0.25
+    # "person" appears everywhere but more in social scenes.
+    person_col = object_names.index("person") if "person" in object_names else None
+    if person_col is not None:
+        affinity[:, person_col] += 0.6
+        affinity[foodish | sportish | streetish, person_col] += 0.6
+    np.clip(affinity, 0.02, None, out=affinity)
+
+    person_prob = np.full(n_places, 0.30, dtype=np.float64)
+    person_prob[foodish | sportish] = 0.55
+    person_prob[streetish] = 0.45
+    person_prob[naturish] = 0.20
+    person_prob[indoor & ~foodish] = 0.38
+
+    return SceneAffinities(
+        indoor=indoor,
+        object_affinity=affinity,
+        person_prob=person_prob,
+        sport_scene=sportish,
+    )
+
+
+@dataclass(frozen=True)
+class ActionAffinities:
+    """Scene/object conditioning of the action vocabulary."""
+
+    #: Boolean over action indices: sport actions.
+    sport: np.ndarray
+    #: Base action weights (uniform-ish with a boost for "core" actions).
+    base_weight: np.ndarray
+
+
+def build_action_affinities(space: LabelSpace) -> ActionAffinities:
+    vocab = space.vocabulary
+    action_names = vocab.labels_for(TASK_ACTION)
+    sport = _group_mask(action_names, vocab.sport_actions)
+    base = np.ones(len(action_names), dtype=np.float64)
+    # Core (named) actions are more common than synthesized tail actions;
+    # this mirrors the long tail of Kinetics-style vocabularies.
+    base[: min(50, len(action_names))] *= 6.0
+    return ActionAffinities(sport=sport, base_weight=base)
+
+
+def dog_breed_weights(space: LabelSpace) -> np.ndarray:
+    """Long-tailed breed popularity: core breeds dominate."""
+    n = len(space.vocabulary.labels_for(TASK_DOG))
+    weights = np.ones(n, dtype=np.float64)
+    weights[: min(30, n)] *= 8.0
+    return weights
+
+
+def dog_object_index(space: LabelSpace) -> int | None:
+    """Local index of the "dog" object category, if present."""
+    names = space.vocabulary.labels_for(TASK_OBJECT)
+    try:
+        return names.index("dog")
+    except ValueError:  # pragma: no cover - mini world always includes dog
+        return None

@@ -1,0 +1,111 @@
+"""Dataset containers: items, datasets, and the paper's 1:4 split.
+
+A :class:`DataItem` couples an id with its latent content.  A
+:class:`Dataset` is an ordered collection of items from one profile;
+:func:`train_test_split` reproduces the paper's "split it into a training
+set and a testing set with the ratio of 1:4" (§VI-A).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import WorldConfig
+from repro.data.generator import WorldGenerator
+from repro.data.profiles import DATASET_PROFILES
+from repro.data.semantics import SceneContent
+from repro.labels import LabelSpace
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One data item: a synthetic stand-in for an image."""
+
+    #: Globally unique id, e.g. "mscoco2017/000042".
+    item_id: str
+    #: Source dataset name.
+    dataset: str
+    #: Index within the source dataset.
+    index: int
+    #: Latent ground-truth content (models read this; policies must not).
+    content: SceneContent
+
+
+class Dataset:
+    """An ordered, immutable collection of :class:`DataItem`."""
+
+    def __init__(self, name: str, items: Sequence[DataItem]):
+        self.name = name
+        self._items = tuple(items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataItem]:
+        return iter(self._items)
+
+    def __getitem__(self, i) -> DataItem:
+        return self._items[i]
+
+    @property
+    def items(self) -> tuple[DataItem, ...]:
+        return self._items
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Dataset":
+        """A new dataset holding the items at ``indices``."""
+        picked = [self._items[i] for i in indices]
+        return Dataset(name or f"{self.name}:subset", picked)
+
+    def sample(self, n: int, seed: int = 0, name: str | None = None) -> "Dataset":
+        """A uniformly sampled (without replacement) subset of size ``n``."""
+        n = min(n, len(self._items))
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self._items), size=n, replace=False)
+        return self.subset(sorted(int(i) for i in idx), name=name)
+
+
+def generate_dataset(
+    space: LabelSpace,
+    config: WorldConfig,
+    dataset: str,
+    n_items: int,
+) -> Dataset:
+    """Materialize ``n_items`` items of a dataset profile."""
+    if dataset not in DATASET_PROFILES:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; choose from {sorted(DATASET_PROFILES)}"
+        )
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    generator = WorldGenerator(space, config)
+    items = [
+        DataItem(
+            item_id=f"{dataset}/{i:06d}",
+            dataset=dataset,
+            index=i,
+            content=generator.generate_content(dataset, i),
+        )
+        for i in range(n_items)
+    ]
+    return Dataset(dataset, items)
+
+
+def train_test_split(
+    dataset: Dataset, train_fraction: float = 0.2, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Split a dataset into train/test (paper's 1:4 ratio by default)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    n = len(dataset)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_train = max(1, int(round(n * train_fraction))) if n else 0
+    train_idx = sorted(int(i) for i in perm[:n_train])
+    test_idx = sorted(int(i) for i in perm[n_train:])
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}:train"),
+        dataset.subset(test_idx, name=f"{dataset.name}:test"),
+    )

@@ -1,0 +1,195 @@
+"""Seeded generator of latent scene content for a dataset profile.
+
+The generator is the synthetic stand-in for "collecting images": it samples
+:class:`~repro.data.semantics.SceneContent` records whose joint distribution
+follows a :class:`~repro.data.profiles.DatasetProfile` and the shared
+correlation structure of :mod:`repro.data.correlations`.
+
+Determinism: every item is generated from ``(world seed, dataset name,
+index)`` so datasets are reproducible item-by-item regardless of how many
+items are requested.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.config import WorldConfig
+from repro.data.correlations import (
+    build_action_affinities,
+    build_scene_affinities,
+    dog_breed_weights,
+    dog_object_index,
+)
+from repro.data.profiles import DATASET_PROFILES, DatasetProfile
+from repro.data.semantics import PersonContent, SceneContent
+from repro.labels import LabelSpace
+from repro.vocab import TASK_ACTION, TASK_DOG, TASK_EMOTION, TASK_PLACE, TASK_POSE
+
+
+def _strength(rng: np.random.Generator, mean: float, spread: float = 0.22) -> float:
+    """A content strength in [0.05, 1.0] centered at ``mean``."""
+    return float(np.clip(rng.normal(mean, spread), 0.05, 1.0))
+
+
+class WorldGenerator:
+    """Samples latent scene content for any of the five dataset profiles."""
+
+    def __init__(self, space: LabelSpace, config: WorldConfig):
+        self.space = space
+        self.config = config
+        self.scene_aff = build_scene_affinities(space)
+        self.action_aff = build_action_affinities(space)
+        self._dog_weights = dog_breed_weights(space)
+        self._dog_weights = self._dog_weights / self._dog_weights.sum()
+        self._dog_object = dog_object_index(space)
+        self._n_places = len(space.vocabulary.labels_for(TASK_PLACE))
+        self._n_actions = len(space.vocabulary.labels_for(TASK_ACTION))
+        self._n_emotions = len(space.vocabulary.labels_for(TASK_EMOTION))
+        self._n_keypoints = len(space.vocabulary.labels_for(TASK_POSE))
+        self._n_dogs = len(space.vocabulary.labels_for(TASK_DOG))
+
+    # -- scene sampling ------------------------------------------------------
+
+    def _scene_weights(self, profile: DatasetProfile) -> np.ndarray:
+        weights = np.ones(self._n_places, dtype=np.float64)
+        weights[self.scene_aff.indoor] *= profile.indoor_bias
+        weights[self.scene_aff.sport_scene] *= profile.sport_bias
+        # Core (named) scenes are more frequent than synthesized tail scenes.
+        weights[: min(100, self._n_places)] *= 4.0
+        return weights / weights.sum()
+
+    def _sample_person(
+        self, rng: np.random.Generator, profile: DatasetProfile
+    ) -> PersonContent:
+        prominence = _strength(rng, 0.58, 0.22)
+        face_visible = bool(rng.random() < profile.face_given_person)
+        face_strength = _strength(rng, 0.66, 0.2) if face_visible else 0.0
+        emotion = int(rng.integers(self._n_emotions)) if face_visible else None
+        gender = int(rng.integers(2))
+        # Visible keypoints: upper body is visible more often than lower.
+        n_kp = self._n_keypoints
+        keep_prob = np.full(n_kp, 0.75)
+        if n_kp == 17:  # full COCO layout: legs are occluded more often
+            keep_prob[11:] = 0.55
+        visible = tuple(int(i) for i in np.nonzero(rng.random(n_kp) < keep_prob)[0])
+        wrists = {9, 10} & set(visible) if n_kp == 17 else set(visible[-1:])
+        hands_visible = min(2, len(wrists)) if rng.random() < 0.45 else 0
+        return PersonContent(
+            prominence=prominence,
+            face_visible=face_visible,
+            face_strength=face_strength,
+            emotion=emotion,
+            gender=gender,
+            visible_keypoints=visible,
+            hands_visible=hands_visible,
+        )
+
+    # -- item sampling ---------------------------------------------------------
+
+    def generate_content(
+        self, dataset: str, index: int, chunk_anchor: SceneContent | None = None
+    ) -> SceneContent:
+        """Generate the latent content of item ``index`` of ``dataset``.
+
+        When ``chunk_anchor`` is given (chunked "video" streams), the new
+        item reuses the anchor's scene and person presence with small
+        perturbations, modelling intra-chunk content correlation (§I).
+        """
+        profile = DATASET_PROFILES[dataset]
+        seed = np.random.SeedSequence(
+            [self.config.seed, zlib.crc32(dataset.encode()), index]
+        )
+        rng = np.random.default_rng(seed)
+
+        if chunk_anchor is None:
+            scene = int(rng.choice(self._n_places, p=self._scene_weights(profile)))
+            scene_strength = _strength(rng, profile.scene_strength_mean)
+        else:
+            scene = chunk_anchor.scene
+            scene_strength = float(
+                np.clip(chunk_anchor.scene_strength + rng.normal(0, 0.05), 0.05, 1.0)
+            )
+
+        # Objects, conditioned on the scene.
+        affinity = self.scene_aff.object_affinity[scene]
+        n_objects = int(rng.poisson(profile.mean_objects))
+        objects: dict[int, float] = {}
+        if chunk_anchor is not None:
+            # keep ~80% of the anchor's objects, drift strengths slightly
+            for obj, strength in chunk_anchor.objects.items():
+                if rng.random() < 0.8:
+                    objects[obj] = float(
+                        np.clip(strength + rng.normal(0, 0.06), 0.05, 1.0)
+                    )
+            n_objects = max(0, n_objects - len(objects))
+        if n_objects > 0:
+            probs = affinity / affinity.sum()
+            picked = rng.choice(len(affinity), size=n_objects, p=probs)
+            for obj in picked:
+                objects.setdefault(
+                    int(obj), _strength(rng, profile.object_strength_mean)
+                )
+
+        # Persons: scene-conditional probability, profile-boosted.
+        base_p = float(self.scene_aff.person_prob[scene]) * profile.person_boost
+        if chunk_anchor is not None:
+            has_person = chunk_anchor.has_person if rng.random() < 0.9 else (
+                rng.random() < min(base_p, 0.95)
+            )
+        else:
+            has_person = rng.random() < min(base_p, 0.95)
+        persons: tuple[PersonContent, ...] = ()
+        if has_person:
+            n_persons = 1 + int(rng.poisson(0.7))
+            persons = tuple(
+                self._sample_person(rng, profile) for _ in range(min(n_persons, 5))
+            )
+            # Content coherence: the "person" object should then be present.
+            person_obj = self._person_object_index()
+            if person_obj is not None and person_obj not in objects:
+                objects[person_obj] = max(p.prominence for p in persons)
+
+        # Action: only meaningful with persons; sport scenes host sport actions.
+        action: int | None = None
+        action_strength = 0.0
+        if persons and rng.random() < profile.action_given_person:
+            weights = self.action_aff.base_weight.copy()
+            if self.scene_aff.sport_scene[scene]:
+                weights[self.action_aff.sport] *= 12.0
+            weights /= weights.sum()
+            action = int(rng.choice(self._n_actions, p=weights))
+            action_strength = _strength(rng, 0.6, 0.2)
+
+        # Dog: profile base rate, suppressed indoors, boosted if the object
+        # layer already sampled a dog.
+        dog_breed: int | None = None
+        dog_strength = 0.0
+        dog_p = profile.dog_prob * (0.5 if self.scene_aff.indoor[scene] else 1.2)
+        if self._dog_object is not None and self._dog_object in objects:
+            dog_p = 0.95
+        if rng.random() < dog_p:
+            dog_breed = int(rng.choice(self._n_dogs, p=self._dog_weights))
+            dog_strength = _strength(rng, 0.7, 0.2)
+            if self._dog_object is not None and self._dog_object not in objects:
+                objects[self._dog_object] = dog_strength
+
+        return SceneContent(
+            scene=scene,
+            scene_strength=scene_strength,
+            objects=objects,
+            persons=persons,
+            action=action,
+            action_strength=action_strength,
+            dog_breed=dog_breed,
+            dog_strength=dog_strength,
+        )
+
+    def _person_object_index(self) -> int | None:
+        names = self.space.vocabulary.labels_for("object_detection")
+        try:
+            return names.index("person")
+        except ValueError:  # pragma: no cover
+            return None

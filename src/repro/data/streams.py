@@ -1,0 +1,98 @@
+"""Data streams: i.i.d. item streams and correlated ("video") chunk streams.
+
+The paper distinguishes two stream regimes (§I):
+
+* uncorrelated items (random photos) — the hard case the DRL agent targets;
+* chunked streams (video segments) whose items share content — where a
+  simple explore–exploit policy "works extremely well".
+
+:func:`iid_stream` yields independent items; :func:`chunked_stream` yields
+items grouped into chunks whose latent content drifts around a chunk anchor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import WorldConfig
+from repro.data.datasets import DataItem
+from repro.data.generator import WorldGenerator
+from repro.labels import LabelSpace
+
+
+def iid_stream(
+    space: LabelSpace,
+    config: WorldConfig,
+    dataset: str,
+    n_items: int,
+    start_index: int = 0,
+) -> Iterator[DataItem]:
+    """Yield ``n_items`` independent items from a dataset profile."""
+    generator = WorldGenerator(space, config)
+    for i in range(start_index, start_index + n_items):
+        yield DataItem(
+            item_id=f"{dataset}/{i:06d}",
+            dataset=dataset,
+            index=i,
+            content=generator.generate_content(dataset, i),
+        )
+
+
+@dataclass(frozen=True)
+class ChunkedItem:
+    """A stream item annotated with its chunk id and in-chunk position."""
+
+    item: DataItem
+    chunk_id: int
+    position: int
+
+    @property
+    def is_chunk_start(self) -> bool:
+        return self.position == 0
+
+
+def chunked_stream(
+    space: LabelSpace,
+    config: WorldConfig,
+    dataset: str,
+    n_chunks: int,
+    chunk_length: int,
+    seed: int = 0,
+) -> Iterator[ChunkedItem]:
+    """Yield a correlated stream of ``n_chunks`` chunks.
+
+    The first item of each chunk is drawn fresh from the dataset profile;
+    subsequent items drift around it (same scene, mostly the same objects
+    and person presence), which is the correlation structure a video
+    segment exhibits.
+    """
+    if chunk_length < 1:
+        raise ValueError("chunk_length must be >= 1")
+    generator = WorldGenerator(space, config)
+    rng = np.random.default_rng(seed)
+    index = 0
+    for chunk_id in range(n_chunks):
+        anchor_index = int(rng.integers(1_000_000, 2_000_000))
+        anchor = generator.generate_content(dataset, anchor_index)
+        for position in range(chunk_length):
+            content = (
+                anchor
+                if position == 0
+                else generator.generate_content(
+                    dataset, anchor_index + position, chunk_anchor=anchor
+                )
+            )
+            yield ChunkedItem(
+                item=DataItem(
+                    item_id=f"{dataset}/chunk{chunk_id:04d}/{position:03d}",
+                    dataset=dataset,
+                    index=index,
+                    content=content,
+                ),
+                chunk_id=chunk_id,
+                position=position,
+            )
+            index += 1

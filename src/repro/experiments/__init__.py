@@ -1,0 +1,11 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(ctx) -> ExperimentReport`` where ``ctx`` is
+an :class:`~repro.experiments.common.ExperimentContext` built for a scale
+preset.  Reports carry the measured series plus the paper's reference
+numbers so benchmarks and the runner can print paper-vs-measured tables.
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+__all__ = ["ExperimentContext", "ExperimentReport"]

@@ -1,0 +1,118 @@
+"""Fig. 11: scheduling under memory-deadline constraints (§VI-G, Alg. 2).
+
+Multi-processor setting: models run in parallel within a GPU-memory budget.
+The paper evaluates the worst case from its transfer study — the
+Stanford40-trained agent on VOC2012 — under 8/12/16 GB memory budgets and
+0-2 s deadlines.  Headline: Algorithm 2 improves recall over random by
+106.9% / 52.8% / 19.5% under 8/12/16 GB at the 0.8 s deadline, and its
+performance ratio to optimal* exceeds 1 - 1/e in most cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import improvement, performance_ratio
+from repro.analysis.tables import format_series
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.scheduling.deadline_memory import (
+    MemoryDeadlineScheduler,
+    RandomMemoryDeadlineScheduler,
+    RelaxedOptimalMemoryDeadline,
+)
+
+PAPER = {
+    "improvement_8gb_at_0.8s": 1.069,
+    "improvement_12gb_at_0.8s": 0.528,
+    "improvement_16gb_at_0.8s": 0.195,
+    "ratio_floor": 1 - 1 / np.e,
+}
+
+#: Memory budgets in MB (the paper's 8/12/16 GB).
+MEMORY_BUDGETS = (8000.0, 12000.0, 16000.0)
+#: Deadline grid in seconds (the paper sweeps 0-2 s).
+DEADLINES = (0.2, 0.4, 0.8, 1.2, 1.6, 2.0)
+
+#: Worst case from §VI-D: agent trained on Stanford40, tested on VOC2012.
+TRAIN_DATASET = "stanford40"
+TEST_DATASET = "voc2012"
+
+
+def run(
+    ctx: ExperimentContext,
+    memory_budgets: tuple[float, ...] = MEMORY_BUDGETS,
+    deadlines: tuple[float, ...] = DEADLINES,
+    n_items: int | None = None,
+) -> ExperimentReport:
+    ctx.ensure_truth(TRAIN_DATASET)
+    truth = ctx.ensure_truth(TEST_DATASET)
+    item_ids = ctx.eval_ids(TEST_DATASET, n_items)
+    predictor = ctx.predictor(TRAIN_DATASET, "dueling_dqn")
+    agent_sched = MemoryDeadlineScheduler(predictor)
+    random_sched = RandomMemoryDeadlineScheduler(seed=17)
+    star = RelaxedOptimalMemoryDeadline()
+
+    sections = []
+    measured: dict[str, float] = {}
+    ratios = {}
+    for mem in memory_budgets:
+        curves = {
+            name: np.zeros(len(deadlines))
+            for name in ("agent", "random", "optimal_star")
+        }
+        for di, deadline in enumerate(deadlines):
+            agent_recalls = []
+            random_recalls = []
+            star_recalls = []
+            for item_id in item_ids:
+                agent_recalls.append(
+                    agent_sched.schedule(truth, item_id, deadline, mem).recall_by(
+                        deadline
+                    )
+                )
+                random_recalls.append(
+                    random_sched.schedule(truth, item_id, deadline, mem).recall_by(
+                        deadline
+                    )
+                )
+                star_recalls.append(star.recall(truth, item_id, deadline, mem))
+            curves["agent"][di] = float(np.mean(agent_recalls))
+            curves["random"][di] = float(np.mean(random_recalls))
+            curves["optimal_star"][di] = float(np.mean(star_recalls))
+
+        gb = mem / 1000
+        sections.append(
+            format_series(
+                "deadline_s",
+                deadlines,
+                curves,
+                title=f"Fig. 11 ({gb:.0f}GB): value recall vs deadline",
+            )
+        )
+        i08 = int(np.argmin(np.abs(np.asarray(deadlines) - 0.8)))
+        imp = improvement(curves["random"][i08], curves["agent"][i08])
+        measured[f"improvement_{gb:.0f}gb_at_0.8s"] = imp
+        ratio = performance_ratio(curves["agent"], curves["optimal_star"])
+        ratios[gb] = ratio
+        measured[f"ratio_{gb:.0f}gb"] = ratio
+
+    summary_lines = [
+        f"Algorithm 2 vs random @0.8s: "
+        + ", ".join(
+            f"{gb:.0f}GB +{measured[f'improvement_{gb:.0f}gb_at_0.8s']:.1%}"
+            for gb in (m / 1000 for m in memory_budgets)
+        )
+        + " (paper: 8GB +106.9%, 12GB +52.8%, 16GB +19.5%)",
+        f"performance ratios: "
+        + ", ".join(f"{gb:.0f}GB {r:.3f}" for gb, r in ratios.items())
+        + f" vs 1-1/e={1 - 1 / np.e:.3f}",
+        "expected shape: the improvement shrinks as memory grows (more room "
+        "means even random packing eventually fits everything).",
+    ]
+    return ExperimentReport(
+        experiment="fig11",
+        title="Scheduling under memory-deadline constraints (Algorithm 2)",
+        text="\n\n".join(sections + ["\n".join(summary_lines)]),
+        measured=measured,
+        paper=dict(PAPER),
+    )

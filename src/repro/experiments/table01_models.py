@@ -1,0 +1,45 @@
+"""Table I: the deployed zoo — 10 tasks, 30 models, 1104 labels."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.vocab import ALL_TASKS, FULL_TASK_SIZES
+
+PAPER = {
+    "n_tasks": 10,
+    "n_models": 30,
+    "n_labels": 1104,
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentReport:
+    rows = []
+    for task in ALL_TASKS:
+        models = ctx.zoo.models_for_task(task)
+        n_labels = len(ctx.space.vocabulary.labels_for(task))
+        times = ", ".join(f"{m.time * 1000:.0f}ms" for m in models)
+        rows.append((task, n_labels, len(models), times))
+    rows.append(("TOTAL", len(ctx.space), len(ctx.zoo), f"{ctx.zoo.total_time:.2f}s"))
+    table = format_table(
+        ("task", "labels", "models", "time costs"),
+        rows,
+        title="Table I: visual analysis tasks and deployed models",
+    )
+    measured = {
+        "n_tasks": float(len(ALL_TASKS)),
+        "n_models": float(len(ctx.zoo)),
+        "n_labels": float(len(ctx.space)),
+    }
+    if ctx.scale.is_full_world:
+        expected = {t: FULL_TASK_SIZES[t] for t in ALL_TASKS}
+        assert all(
+            len(ctx.space.vocabulary.labels_for(t)) == n for t, n in expected.items()
+        )
+    return ExperimentReport(
+        experiment="table01",
+        title="Model zoo summary",
+        text=table,
+        measured=measured,
+        paper={k: float(v) for k, v in PAPER.items()},
+    )

@@ -1,0 +1,117 @@
+"""Global label space: a stable bijection between label names and ids.
+
+The DRL agent's observation (the *labeling state*, Section IV) is an
+``n``-dimensional binary vector where ``n = |L(M)|`` is the number of labels
+supported by the whole zoo (1104 at full scale).  :class:`LabelSpace` owns
+that indexing: every label gets a dense global id, and every task owns a
+contiguous id range so task-level slices are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vocab import ALL_TASKS, Vocabulary, build_vocabulary
+
+
+@dataclass(frozen=True)
+class LabelInfo:
+    """Metadata for one label in the global space."""
+
+    global_id: int
+    task: str
+    local_id: int
+    name: str
+
+
+class LabelSpace:
+    """Dense global indexing of every label supported by the model zoo.
+
+    Parameters
+    ----------
+    vocabulary:
+        The per-task vocabulary to index.  Tasks are laid out in the fixed
+        :data:`repro.vocab.ALL_TASKS` order so ids are reproducible across
+        processes.
+    """
+
+    def __init__(self, vocabulary: Vocabulary):
+        self._vocabulary = vocabulary
+        self._labels: list[LabelInfo] = []
+        self._by_name: dict[str, LabelInfo] = {}
+        self._task_ranges: dict[str, range] = {}
+        next_id = 0
+        for task in ALL_TASKS:
+            names = vocabulary.labels_for(task)
+            start = next_id
+            for local_id, name in enumerate(names):
+                info = LabelInfo(
+                    global_id=next_id, task=task, local_id=local_id, name=name
+                )
+                self._labels.append(info)
+                if name in self._by_name:
+                    raise ValueError(f"duplicate label name across tasks: {name}")
+                self._by_name[name] = info
+                next_id += 1
+            self._task_ranges[task] = range(start, next_id)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    # -- lookups -----------------------------------------------------------
+
+    def info(self, global_id: int) -> LabelInfo:
+        """Metadata for a global label id."""
+        return self._labels[global_id]
+
+    def name_of(self, global_id: int) -> str:
+        return self._labels[global_id].name
+
+    def id_of(self, name: str) -> int:
+        """Global id of a label name; raises ``KeyError`` if unknown."""
+        return self._by_name[name].global_id
+
+    def task_of(self, global_id: int) -> str:
+        return self._labels[global_id].task
+
+    def task_range(self, task: str) -> range:
+        """Contiguous global-id range owned by ``task``."""
+        return self._task_ranges[task]
+
+    def task_ids(self, task: str) -> np.ndarray:
+        """Global ids owned by ``task`` as an int array."""
+        r = self._task_ranges[task]
+        return np.arange(r.start, r.stop, dtype=np.int64)
+
+    def ids_of(self, names) -> np.ndarray:
+        """Global ids for an iterable of label names."""
+        return np.asarray(
+            [self._by_name[n].global_id for n in names], dtype=np.int64
+        )
+
+    # -- vector helpers ----------------------------------------------------
+
+    def empty_state(self) -> np.ndarray:
+        """A fresh all-zeros labeling state vector (float32)."""
+        return np.zeros(len(self._labels), dtype=np.float32)
+
+    def names_of_state(self, state: np.ndarray) -> list[str]:
+        """Names of the labels set in a binary state vector."""
+        (idx,) = np.nonzero(state)
+        return [self._labels[int(i)].name for i in idx]
+
+
+def build_label_space(scale: str = "full") -> LabelSpace:
+    """Convenience constructor: vocabulary + label space at ``scale``."""
+    return LabelSpace(build_vocabulary(scale))

@@ -1,0 +1,145 @@
+"""Persistence: save/load ground-truth records and trained agents.
+
+The paper's protocol executes the zoo once and replays recorded outputs for
+every policy evaluation.  At paper scale that recording is worth keeping
+across processes; this module serializes a :class:`GroundTruth` (outputs,
+confidences, item latents are *not* stored — only what replay needs) plus
+agents to ``.npz`` archives.
+
+File layout (one npz):
+
+* header arrays (``__items``, ``__models``, thresholds, seeds);
+* per item/model: label-id and confidence arrays (ragged, stored flat with
+  offsets).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import WorldConfig
+from repro.core.output import LabelOutput, ModelOutput
+from repro.data.datasets import DataItem
+from repro.data.semantics import SceneContent
+from repro.zoo.model import ModelZoo
+from repro.zoo.oracle import GroundTruth
+
+_FORMAT_VERSION = 1
+
+
+def save_ground_truth(truth: GroundTruth, path: str | Path) -> None:
+    """Serialize recorded outputs (all emissions, any confidence)."""
+    item_ids = list(truth.item_ids)
+    n_models = len(truth.zoo)
+    label_ids: list[np.ndarray] = []
+    confs: list[np.ndarray] = []
+    offsets = np.zeros((len(item_ids), n_models, 2), dtype=np.int64)
+    cursor = 0
+    for row, item_id in enumerate(item_ids):
+        rec = truth.record(item_id)
+        for j, output in enumerate(rec.outputs):
+            ids = np.asarray([l.label_id for l in output.labels], dtype=np.int64)
+            cf = np.asarray([l.confidence for l in output.labels], dtype=np.float64)
+            label_ids.append(ids)
+            confs.append(cf)
+            offsets[row, j] = (cursor, cursor + len(ids))
+            cursor += len(ids)
+    flat_ids = (
+        np.concatenate(label_ids) if label_ids else np.zeros(0, dtype=np.int64)
+    )
+    flat_confs = np.concatenate(confs) if confs else np.zeros(0)
+    np.savez_compressed(
+        path,
+        version=np.asarray(_FORMAT_VERSION),
+        item_ids=np.asarray(item_ids),
+        model_names=np.asarray(truth.zoo.names),
+        threshold=np.asarray(truth.threshold),
+        offsets=offsets,
+        flat_label_ids=flat_ids,
+        flat_confidences=flat_confs,
+    )
+
+
+def load_ground_truth(
+    zoo: ModelZoo, path: str | Path, config: WorldConfig | None = None
+) -> GroundTruth:
+    """Rebuild a :class:`GroundTruth` from a saved archive.
+
+    The zoo must match the one the archive was recorded with (verified by
+    model names); items are reconstructed with placeholder latent content —
+    replay only ever reads recorded outputs.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported ground-truth format v{version}")
+        saved_models = [str(m) for m in data["model_names"]]
+        if saved_models != list(zoo.names):
+            raise ValueError(
+                "zoo mismatch: archive was recorded with different models"
+            )
+        item_ids = [str(i) for i in data["item_ids"]]
+        offsets = data["offsets"]
+        flat_ids = data["flat_label_ids"]
+        flat_confs = data["flat_confidences"]
+
+    truth = GroundTruth(zoo, [], config)
+    placeholder = SceneContent(scene=0, scene_strength=0.0)
+    space = zoo.space
+    for row, item_id in enumerate(item_ids):
+        outputs = []
+        for j, model in enumerate(zoo):
+            start, stop = offsets[row, j]
+            labels = tuple(
+                LabelOutput(
+                    label_id=int(gid),
+                    name=space.name_of(int(gid)),
+                    confidence=float(conf),
+                )
+                for gid, conf in zip(flat_ids[start:stop], flat_confs[start:stop])
+            )
+            outputs.append(
+                ModelOutput(model=model.name, item_id=item_id, labels=labels)
+            )
+        _inject_record(truth, item_id, outputs, placeholder)
+    return truth
+
+
+def _inject_record(
+    truth: GroundTruth,
+    item_id: str,
+    outputs: list[ModelOutput],
+    placeholder: SceneContent,
+) -> None:
+    """Insert a replayed record, recomputing the derived value arrays."""
+    from repro.zoo.oracle import ItemRecord
+
+    n_labels = len(truth.zoo.space)
+    ids_list, confs_list = [], []
+    solo = np.zeros(len(truth.zoo))
+    best = np.zeros(n_labels)
+    for j, output in enumerate(outputs):
+        ids, confs = output.valuable_arrays(truth.threshold)
+        ids_list.append(ids)
+        confs_list.append(confs)
+        solo[j] = float(confs.sum())
+        if len(ids):
+            np.maximum.at(best, ids, confs)
+    dataset, _, index = item_id.partition("/")
+    item = DataItem(
+        item_id=item_id,
+        dataset=dataset,
+        index=int(index) if index.isdigit() else -1,
+        content=placeholder,
+    )
+    truth._records[item_id] = ItemRecord(
+        item=item,
+        outputs=tuple(outputs),
+        valuable_ids=tuple(ids_list),
+        valuable_confs=tuple(confs_list),
+        solo_values=solo,
+        best_confidence=best,
+        total_value=float(best.sum()),
+    )

@@ -1,0 +1,135 @@
+"""The labeling MDP (Section IV), played over recorded ground truth.
+
+* **Observation** — the binary labeling state (one bit per supported
+  label; 1104 dims at full scale).
+* **Actions** — one per model, plus an END action used during training
+  (§IV-B).  Executing an already-executed model is invalid; callers use
+  :meth:`LabelingEnv.valid_action_mask`.
+* **Reward** — Eq. (3) via :func:`repro.core.reward.reward_for_output`:
+  log-smoothed value of *new* valuable labels, ``-1`` punishment for
+  nothing-new, ``0`` for END.
+* **Episode** — one data item; ends at END, or when every model has been
+  executed.
+
+The environment replays recorded outputs from :class:`GroundTruth`, exactly
+like the paper's simulation protocol, so stepping is cheap and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.reward import END_REWARD, RewardConfig, reward_for_output
+from repro.core.state import LabelingState
+from repro.zoo.oracle import GroundTruth
+
+
+class LabelingEnv:
+    """Gym-style environment over a ground-truth cache."""
+
+    def __init__(
+        self,
+        truth: GroundTruth,
+        item_ids: Sequence[str] | None = None,
+        reward_config: RewardConfig | None = None,
+        use_end_action: bool = True,
+        seed: int = 0,
+    ):
+        self.truth = truth
+        self.item_ids = tuple(item_ids if item_ids is not None else truth.item_ids)
+        if not self.item_ids:
+            raise ValueError("environment needs at least one item")
+        missing = [i for i in self.item_ids if i not in truth]
+        if missing:
+            raise ValueError(f"items not in ground truth: {missing[:3]}...")
+        self.reward_config = reward_config or RewardConfig()
+        self.use_end_action = use_end_action
+        self.n_models = len(truth.zoo)
+        #: END action index (only valid when ``use_end_action``).
+        self.end_action = self.n_models
+        self.n_actions = self.n_models + (1 if use_end_action else 0)
+        self.obs_dim = len(truth.zoo.space)
+        self._rng = np.random.default_rng(seed)
+        self._thetas = np.asarray(
+            [self.reward_config.theta_of(m.name) for m in truth.zoo],
+            dtype=np.float64,
+        )
+        self.state: LabelingState | None = None
+        self._done = True
+
+    # -- episode control ---------------------------------------------------
+
+    def reset(self, item_id: str | None = None) -> np.ndarray:
+        """Start an episode on ``item_id`` (or a random training item)."""
+        if item_id is None:
+            item_id = self.item_ids[int(self._rng.integers(len(self.item_ids)))]
+        self.state = LabelingState(self.truth, item_id)
+        self._done = False
+        return self.observation()
+
+    def observation(self) -> np.ndarray:
+        """Copy of the current binary labeling state."""
+        self._require_active()
+        return self.state.vector.copy()
+
+    def valid_action_mask(self) -> np.ndarray:
+        """Boolean mask over actions: unexecuted models (+ END if enabled)."""
+        self._require_active()
+        mask = np.zeros(self.n_actions, dtype=bool)
+        mask[: self.n_models] = ~self.state.executed
+        if self.use_end_action:
+            mask[self.end_action] = True
+        return mask
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Execute a model (or END); returns (obs, reward, done, info)."""
+        self._require_active()
+        if self._done:
+            raise RuntimeError("episode finished; call reset()")
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} out of range 0..{self.n_actions - 1}")
+
+        if self.use_end_action and action == self.end_action:
+            self._done = True
+            return (
+                self.observation(),
+                END_REWARD,
+                True,
+                {"end": True, "recall": self.state.recall},
+            )
+
+        if self.state.executed[action]:
+            raise ValueError(
+                f"model {action} already executed; mask actions with "
+                "valid_action_mask()"
+            )
+        _, new_confs = self.state.execute(action)
+        reward = reward_for_output(
+            new_confs,
+            theta=float(self._thetas[action]),
+            smoothing=self.reward_config.smoothing,
+        )
+        if self.state.all_executed:
+            self._done = True
+        return (
+            self.observation(),
+            reward,
+            self._done,
+            {
+                "model": self.truth.zoo[action].name,
+                "new_labels": len(new_confs),
+                "recall": self.state.recall,
+                "value": self.state.value,
+            },
+        )
+
+    def _require_active(self) -> None:
+        if self.state is None:
+            raise RuntimeError("call reset() before interacting with the env")

@@ -1,0 +1,24 @@
+"""Minimal dense-network autodiff library (numpy only).
+
+Implements exactly what a DQN at the paper's scale needs: dense layers with
+He initialization, ReLU, a dueling value/advantage head, Adam, and Huber
+loss.  Gradient correctness is verified against finite differences in the
+test suite.
+"""
+
+from repro.rl.nn.layers import Dense, ReLU
+from repro.rl.nn.loss import huber_loss, mse_loss
+from repro.rl.nn.net import DuelingQNetwork, MLPQNetwork, QNetwork
+from repro.rl.nn.opt import SGD, Adam
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "huber_loss",
+    "mse_loss",
+    "DuelingQNetwork",
+    "MLPQNetwork",
+    "QNetwork",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,33 @@
+"""Loss functions returning (loss value, gradient w.r.t. predictions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error over all elements."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    n = pred.size
+    return float(np.mean(diff**2)), (2.0 / n) * diff
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss (the DQN standard): quadratic near 0, linear beyond delta."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    loss = np.where(
+        quadratic, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta)
+    )
+    grad = np.where(quadratic, diff, delta * np.sign(diff))
+    n = pred.size
+    return float(loss.mean()), grad / n

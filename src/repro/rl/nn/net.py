@@ -1,0 +1,164 @@
+"""Q-networks: a plain MLP head and a dueling value/advantage head.
+
+Both networks map a labeling-state observation to one Q value per action
+(the paper's architecture: one hidden dense layer, 256 ReLU units at full
+scale).  The dueling variant (Wang et al., used by the paper's best agent)
+splits the head into a scalar state value V and per-action advantages A and
+combines them as ``Q = V + A - mean(A)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.nn.layers import Dense, ReLU
+
+
+class QNetwork:
+    """Interface shared by the MLP and dueling networks."""
+
+    obs_dim: int
+    n_actions: int
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_q: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def grads(self) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def copy_from(self, other: "QNetwork") -> None:
+        """Hard parameter copy (used for target-network syncs)."""
+        for mine, theirs in zip(self.params(), other.params()):
+            np.copyto(mine, theirs)
+
+    # -- convenience ---------------------------------------------------------
+
+    def q_values(self, obs: np.ndarray) -> np.ndarray:
+        """Inference on a single observation; returns shape (n_actions,)."""
+        out = self.forward(obs[None, :], train=False)
+        return out[0]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"p{i}": p.copy() for i, p in enumerate(self.params())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.params()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, network has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            src = state[f"p{i}"]
+            if src.shape != p.shape:
+                raise ValueError(f"shape mismatch at p{i}: {src.shape} vs {p.shape}")
+            np.copyto(p, src)
+
+
+class MLPQNetwork(QNetwork):
+    """obs -> Dense(hidden) -> ReLU -> Dense(n_actions)."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        n_actions: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+    ):
+        self.obs_dim = obs_dim
+        self.n_actions = n_actions
+        self.hidden_size = hidden_size
+        self.fc1 = Dense(obs_dim, hidden_size, rng)
+        self.act1 = ReLU()
+        self.fc2 = Dense(hidden_size, n_actions, rng)
+        self._layers = (self.fc1, self.act1, self.fc2)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        h = self.act1.forward(self.fc1.forward(x, train), train)
+        return self.fc2.forward(h, train)
+
+    def backward(self, grad_q: np.ndarray) -> None:
+        grad = self.fc2.backward(grad_q)
+        grad = self.act1.backward(grad)
+        self.fc1.backward(grad)
+
+    def zero_grad(self) -> None:
+        for layer in self._layers:
+            layer.zero_grad()
+
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self._layers for p in layer.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self._layers for g in layer.grads()]
+
+    def clone(self) -> "MLPQNetwork":
+        twin = MLPQNetwork(
+            self.obs_dim, self.n_actions, self.hidden_size, np.random.default_rng(0)
+        )
+        twin.copy_from(self)
+        return twin
+
+
+class DuelingQNetwork(QNetwork):
+    """Dueling head: shared trunk, then V (scalar) and A (per-action).
+
+    ``Q = V + A - mean(A)``; the mean-subtraction makes the decomposition
+    identifiable.  Backward distributes ``dQ`` accordingly:
+    ``dV_row = sum_a dQ[a]``, ``dA = dQ - mean_a(dQ)``.
+    """
+
+    def __init__(
+        self,
+        obs_dim: int,
+        n_actions: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+    ):
+        self.obs_dim = obs_dim
+        self.n_actions = n_actions
+        self.hidden_size = hidden_size
+        self.fc1 = Dense(obs_dim, hidden_size, rng)
+        self.act1 = ReLU()
+        self.value_head = Dense(hidden_size, 1, rng)
+        self.adv_head = Dense(hidden_size, n_actions, rng)
+        self._layers = (self.fc1, self.act1, self.value_head, self.adv_head)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        h = self.act1.forward(self.fc1.forward(x, train), train)
+        value = self.value_head.forward(h, train)  # (B, 1)
+        adv = self.adv_head.forward(h, train)  # (B, A)
+        return value + adv - adv.mean(axis=1, keepdims=True)
+
+    def backward(self, grad_q: np.ndarray) -> None:
+        grad_value = grad_q.sum(axis=1, keepdims=True)  # (B, 1)
+        grad_adv = grad_q - grad_q.mean(axis=1, keepdims=True)  # (B, A)
+        grad_h = self.value_head.backward(grad_value)
+        grad_h = grad_h + self.adv_head.backward(grad_adv)
+        grad = self.act1.backward(grad_h)
+        self.fc1.backward(grad)
+
+    def zero_grad(self) -> None:
+        for layer in self._layers:
+            layer.zero_grad()
+
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self._layers for p in layer.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self._layers for g in layer.grads()]
+
+    def clone(self) -> "DuelingQNetwork":
+        twin = DuelingQNetwork(
+            self.obs_dim, self.n_actions, self.hidden_size, np.random.default_rng(0)
+        )
+        twin.copy_from(self)
+        return twin

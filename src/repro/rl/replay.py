@@ -1,0 +1,100 @@
+"""Uniform experience replay on preallocated numpy ring buffers.
+
+Stores ``(s, a, r, s', done, next_valid_mask, a')`` — the next-action slot
+is only used by the on-policy DeepSARSA agent; off-policy agents ignore it.
+The next-valid-action mask matters because the labeling MDP forbids
+re-executing models: target maxima must range over valid actions only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment step (convenience container for pushes)."""
+
+    obs: np.ndarray
+    action: int
+    reward: float
+    next_obs: np.ndarray
+    done: bool
+    next_valid: np.ndarray
+    next_action: int = -1
+
+
+@dataclass
+class Batch:
+    """A sampled minibatch, columnar."""
+
+    obs: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_obs: np.ndarray
+    dones: np.ndarray
+    next_valids: np.ndarray
+    next_actions: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int, obs_dim: int, n_actions: int, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._obs = np.zeros((capacity, obs_dim), dtype=np.float32)
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity, dtype=np.float64)
+        self._next_obs = np.zeros((capacity, obs_dim), dtype=np.float32)
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._next_valids = np.zeros((capacity, n_actions), dtype=bool)
+        self._next_actions = np.full(capacity, -1, dtype=np.int64)
+        self._size = 0
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def push(self, t: Transition) -> None:
+        i = self._cursor
+        self._obs[i] = t.obs
+        self._actions[i] = t.action
+        self._rewards[i] = t.reward
+        self._next_obs[i] = t.next_obs
+        self._dones[i] = t.done
+        self._next_valids[i] = t.next_valid
+        self._next_actions[i] = t.next_action
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def set_last_next_action(self, action: int) -> None:
+        """Patch a' of the most recent push (SARSA learns it one step late)."""
+        if self._size == 0:
+            raise RuntimeError("buffer is empty")
+        self._next_actions[(self._cursor - 1) % self.capacity] = action
+
+    def sample(self, batch_size: int) -> Batch:
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, self._size, size=min(batch_size, self._size))
+        return Batch(
+            obs=self._obs[idx].astype(np.float64),
+            actions=self._actions[idx],
+            rewards=self._rewards[idx],
+            next_obs=self._next_obs[idx].astype(np.float64),
+            dones=self._dones[idx],
+            next_valids=self._next_valids[idx],
+            next_actions=self._next_actions[idx],
+        )

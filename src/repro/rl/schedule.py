@@ -1,0 +1,23 @@
+"""Epsilon-greedy exploration schedule (linear decay)."""
+
+from __future__ import annotations
+
+
+class EpsilonSchedule:
+    """Linearly decays epsilon from ``start`` to ``end`` over ``decay_steps``."""
+
+    def __init__(self, start: float, end: float, decay_steps: int):
+        if not 0.0 <= end <= start <= 1.0:
+            raise ValueError("need 0 <= end <= start <= 1")
+        if decay_steps < 1:
+            raise ValueError("decay_steps must be >= 1")
+        self.start = start
+        self.end = end
+        self.decay_steps = decay_steps
+
+    def value(self, step: int) -> float:
+        """Epsilon at a (0-based) global step."""
+        if step >= self.decay_steps:
+            return self.end
+        frac = step / self.decay_steps
+        return self.start + (self.end - self.start) * frac

@@ -1,0 +1,55 @@
+"""Scheduling policies and algorithms (Section V + baselines of Section VI).
+
+Two families:
+
+* **Ordering policies** — produce a full adaptive execution order; the
+  analysis layer then reads cost-to-recall off the trace (Figs. 4-6, 8, 9).
+* **Budgeted schedulers** — Algorithm 1 (deadline) and Algorithm 2
+  (deadline+memory), plus their random and relaxed-optimal (optimal*)
+  counterparts (Figs. 10-12).
+"""
+
+from repro.scheduling.base import (
+    OrderingPolicy,
+    ScheduledExecution,
+    ScheduleTrace,
+    run_ordering_policy,
+)
+from repro.scheduling.deadline import (
+    CostQGreedyScheduler,
+    QGreedyDeadlineScheduler,
+    RandomDeadlineScheduler,
+    RelaxedOptimalDeadline,
+)
+from repro.scheduling.deadline_memory import (
+    MemoryDeadlineScheduler,
+    RandomMemoryDeadlineScheduler,
+    RelaxedOptimalMemoryDeadline,
+)
+from repro.scheduling.explore_exploit import ExploreExploitPolicy
+from repro.scheduling.optimal import OptimalPolicy
+from repro.scheduling.qgreedy import QGreedyPolicy, QValuePredictor
+from repro.scheduling.random_policy import RandomPolicy
+from repro.scheduling.rules import HANDCRAFTED_RULES, Rule, RuleBasedPolicy
+
+__all__ = [
+    "OrderingPolicy",
+    "ScheduledExecution",
+    "ScheduleTrace",
+    "run_ordering_policy",
+    "CostQGreedyScheduler",
+    "QGreedyDeadlineScheduler",
+    "RandomDeadlineScheduler",
+    "RelaxedOptimalDeadline",
+    "MemoryDeadlineScheduler",
+    "RandomMemoryDeadlineScheduler",
+    "RelaxedOptimalMemoryDeadline",
+    "ExploreExploitPolicy",
+    "OptimalPolicy",
+    "QGreedyPolicy",
+    "QValuePredictor",
+    "RandomPolicy",
+    "HANDCRAFTED_RULES",
+    "Rule",
+    "RuleBasedPolicy",
+]

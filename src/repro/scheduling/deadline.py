@@ -1,0 +1,182 @@
+"""Scheduling under a deadline constraint (Algorithm 1, §V-A).
+
+Single-processor, serial execution, per-item time budget ``Btime``.  The
+cost-Q greedy scheduler re-predicts Q values after every execution and
+picks the affordable model maximizing ``Q(m | state) / m.time`` — the
+cost-profit greedy rule with the DRL prediction standing in for the unknown
+profit.
+
+This module also provides the baselines of Fig. 10: the cost-oblivious
+Q-greedy, the random-under-deadline policy, and the relaxed optimal*
+upper bound of §V-C (fractional last model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import marginal_gain
+from repro.core.state import LabelingState
+from repro.scheduling.base import ScheduledExecution, ScheduleTrace
+from repro.scheduling.qgreedy import QValuePredictor
+from repro.zoo.oracle import GroundTruth
+
+
+def _execute_into_trace(
+    state: LabelingState,
+    trace: ScheduleTrace,
+    truth: GroundTruth,
+    index: int,
+    clock: float,
+) -> float:
+    """Execute model ``index`` serially at ``clock``; returns new clock."""
+    before = state.value
+    _, new_confs = state.execute(index)
+    model = truth.zoo[index]
+    finish = clock + model.time
+    trace.executions.append(
+        ScheduledExecution(
+            model_index=index,
+            model_name=model.name,
+            start_time=clock,
+            finish_time=finish,
+            marginal_value=state.value - before,
+            new_labels=len(new_confs),
+        )
+    )
+    return finish
+
+
+class CostQGreedyScheduler:
+    """Algorithm 1: cost-Q greedy scheduling under a deadline."""
+
+    name = "cost_q_greedy"
+
+    def __init__(self, predictor: QValuePredictor):
+        self.predictor = predictor
+
+    def schedule(
+        self, truth: GroundTruth, item_id: str, time_budget: float
+    ) -> ScheduleTrace:
+        """Run the predict-filter-select loop until the budget is spent."""
+        if time_budget < 0:
+            raise ValueError("time_budget must be non-negative")
+        state = LabelingState(truth, item_id)
+        trace = ScheduleTrace(item_id=item_id, total_value=truth.total_value(item_id))
+        times = truth.zoo.times
+        clock = 0.0
+        budget = time_budget
+        while budget > 0 and not state.all_executed:
+            remaining = state.remaining
+            affordable = remaining[times[remaining] <= budget + 1e-9]
+            if len(affordable) == 0:
+                break
+            q = self.predictor.predict(state)
+            ratios = q[affordable] / times[affordable]
+            best = int(affordable[np.argmax(ratios)])
+            clock = _execute_into_trace(state, trace, truth, best, clock)
+            budget -= float(times[best])
+        return trace
+
+
+class QGreedyDeadlineScheduler:
+    """Fig. 10's "Q Greedy": max-Q selection until the deadline.
+
+    Cost-oblivious — it may start a model that cannot finish within the
+    budget, in which case the execution is wasted (its value does not count
+    by the deadline), exactly the failure mode Algorithm 1 avoids.
+    """
+
+    name = "q_greedy_deadline"
+
+    def __init__(self, predictor: QValuePredictor):
+        self.predictor = predictor
+
+    def schedule(
+        self, truth: GroundTruth, item_id: str, time_budget: float
+    ) -> ScheduleTrace:
+        state = LabelingState(truth, item_id)
+        trace = ScheduleTrace(item_id=item_id, total_value=truth.total_value(item_id))
+        clock = 0.0
+        while clock < time_budget and not state.all_executed:
+            remaining = state.remaining
+            q = self.predictor.predict(state)
+            best = int(remaining[np.argmax(q[remaining])])
+            clock = _execute_into_trace(state, trace, truth, best, clock)
+        return trace
+
+
+class RandomDeadlineScheduler:
+    """The paper's Fig. 10 random baseline: "randomly selects model until
+    the deadline".
+
+    Deliberately cost-oblivious: it keeps drawing random models while the
+    clock is before the deadline, so its last pick typically overshoots and
+    contributes nothing by the deadline — exactly the waste Algorithm 1's
+    affordability filter avoids.  Evaluate with ``trace.recall_by(budget)``.
+    """
+
+    name = "random_deadline"
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def schedule(
+        self, truth: GroundTruth, item_id: str, time_budget: float
+    ) -> ScheduleTrace:
+        state = LabelingState(truth, item_id)
+        trace = ScheduleTrace(item_id=item_id, total_value=truth.total_value(item_id))
+        clock = 0.0
+        while clock < time_budget and not state.all_executed:
+            remaining = state.remaining
+            best = int(remaining[self._rng.integers(len(remaining))])
+            clock = _execute_into_trace(state, trace, truth, best, clock)
+        return trace
+
+
+class RelaxedOptimalDeadline:
+    """The optimal* upper bound of §V-C for the deadline constraint.
+
+    Greedy on the true marginal gain per unit time; when the remaining
+    budget cannot fit the selected model, the model still contributes the
+    corresponding *proportion* of its marginal value (relaxation), after
+    which scheduling stops.  The returned value upper-bounds every exact
+    policy's value, so `ours / optimal*` lower-bounds the true ratio.
+    """
+
+    name = "optimal_star_deadline"
+
+    def value(self, truth: GroundTruth, item_id: str, time_budget: float) -> float:
+        state = LabelingState(truth, item_id)
+        times = truth.zoo.times
+        budget = time_budget
+        value = 0.0
+        while budget > 0 and not state.all_executed:
+            remaining = state.remaining
+            gains = np.asarray(
+                [
+                    marginal_gain(truth, item_id, state.confidences, int(j))
+                    for j in remaining
+                ]
+            )
+            ratios = gains / times[remaining]
+            pick = int(np.argmax(ratios))
+            best = int(remaining[pick])
+            gain = float(gains[pick])
+            if gain <= 0:
+                break
+            cost = float(times[best])
+            if cost <= budget + 1e-9:
+                state.execute(best)
+                value += gain
+                budget -= cost
+            else:
+                value += gain * (budget / cost)
+                budget = 0.0
+        return value
+
+    def recall(self, truth: GroundTruth, item_id: str, time_budget: float) -> float:
+        total = truth.total_value(item_id)
+        if total <= 0:
+            return 1.0
+        return self.value(truth, item_id, time_budget) / total

@@ -1,0 +1,84 @@
+"""Oracle policies that read ground truth (upper-bound baselines).
+
+* :class:`OptimalPolicy` — the paper's "optimal policy": execute models in
+  descending order of their true output value (§VI-B).  It knows each
+  model's value but still pays for every execution it makes.
+* :class:`GreedyMarginalPolicy` — a stronger oracle ordering by true
+  *marginal* gain per unit time; used by the optimal* constructions of
+  §V-C (see :mod:`repro.scheduling.deadline`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import marginal_gain
+from repro.core.state import LabelingState
+from repro.scheduling.base import OrderingPolicy
+from repro.zoo.oracle import GroundTruth
+
+
+class OptimalPolicy(OrderingPolicy):
+    """Descending true-solo-value order (the paper's optimal baseline)."""
+
+    name = "optimal"
+
+    def __init__(self) -> None:
+        self._order: list[int] = []
+        self._cursor = 0
+
+    def reset(self, truth: GroundTruth, item_id: str) -> None:
+        solo = truth.solo_values(item_id)
+        self._order = list(np.argsort(-solo, kind="stable"))
+        self._cursor = 0
+
+    def next_model(self, state: LabelingState) -> int:
+        while self._cursor < len(self._order):
+            index = int(self._order[self._cursor])
+            self._cursor += 1
+            if not state.executed[index]:
+                return index
+        raise RuntimeError("optimal order exhausted")  # pragma: no cover
+
+
+class GreedyMarginalPolicy(OrderingPolicy):
+    """Oracle greedy on true marginal gain divided by a cost exponent.
+
+    With ``cost="time"`` this is the relaxed-optimal selection rule of
+    §V-C for the deadline constraint; with ``cost="time_mem"`` the
+    deadline-memory variant.
+    """
+
+    name = "greedy_marginal"
+
+    def __init__(self, cost: str = "unit"):
+        if cost not in ("unit", "time", "time_mem"):
+            raise ValueError(f"unknown cost divisor: {cost!r}")
+        self._cost = cost
+        self._truth: GroundTruth | None = None
+        self._item_id = ""
+
+    def reset(self, truth: GroundTruth, item_id: str) -> None:
+        self._truth = truth
+        self._item_id = item_id
+
+    def next_model(self, state: LabelingState) -> int:
+        truth = self._truth
+        remaining = state.remaining
+        best_index = -1
+        best_score = -np.inf
+        for index in remaining:
+            gain = marginal_gain(
+                truth, self._item_id, state.confidences, int(index)
+            )
+            model = truth.zoo[int(index)]
+            if self._cost == "time":
+                score = gain / model.time
+            elif self._cost == "time_mem":
+                score = gain / (model.time * model.mem)
+            else:
+                score = gain
+            if score > best_score:
+                best_score = score
+                best_index = int(index)
+        return best_index

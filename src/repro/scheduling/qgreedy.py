@@ -1,0 +1,80 @@
+"""Q-value greedy policy and the predictor abstraction.
+
+The *Q-value greedy policy* (§VI-B) executes, at every step, the remaining
+model with the maximal predicted Q value given the current labeling state.
+It is cost-oblivious; Algorithm 1 adds cost-awareness on top of the same
+predictions.
+
+:class:`QValuePredictor` is the thin interface the scheduling layer sees:
+"given the labeling state, predict a value per model".  The default
+implementation wraps a trained Q agent (dropping its END head); tests also
+use an oracle predictor to isolate scheduler behaviour from agent quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import LabelingState
+from repro.rl.agents import QAgent
+from repro.scheduling.base import OrderingPolicy
+from repro.zoo.oracle import GroundTruth
+
+
+class QValuePredictor:
+    """Predicts per-model values from the labeling state."""
+
+    def predict(self, state: LabelingState) -> np.ndarray:
+        """Return one value per zoo model (higher = more promising)."""
+        raise NotImplementedError
+
+
+class AgentPredictor(QValuePredictor):
+    """Wraps a trained Q agent; model actions only (END is training-only)."""
+
+    def __init__(self, agent: QAgent, n_models: int):
+        if agent.n_actions < n_models:
+            raise ValueError(
+                f"agent has {agent.n_actions} actions but zoo has {n_models} models"
+            )
+        self.agent = agent
+        self.n_models = n_models
+
+    def predict(self, state: LabelingState) -> np.ndarray:
+        q = self.agent.q_values(state.vector.astype(np.float64))
+        return q[: self.n_models]
+
+
+class OraclePredictor(QValuePredictor):
+    """Cheating predictor returning true marginal gains (tests/upper bounds)."""
+
+    def __init__(self, truth: GroundTruth, item_id: str | None = None):
+        self.truth = truth
+        self.item_id = item_id
+
+    def predict(self, state: LabelingState) -> np.ndarray:
+        from repro.core.evaluation import marginal_gain
+
+        item_id = self.item_id or state.item_id
+        gains = np.zeros(len(self.truth.zoo))
+        for index in range(len(self.truth.zoo)):
+            gains[index] = marginal_gain(
+                self.truth, item_id, state.confidences, index
+            )
+        return gains
+
+
+class QGreedyPolicy(OrderingPolicy):
+    """Greedy on predicted Q values, ignoring costs (§VI-B)."""
+
+    name = "q_greedy"
+
+    def __init__(self, predictor: QValuePredictor):
+        self.predictor = predictor
+
+    def next_model(self, state: LabelingState) -> int:
+        q = self.predictor.predict(state)
+        remaining = state.remaining
+        if len(remaining) == 0:
+            raise RuntimeError("no models remain")  # pragma: no cover
+        return int(remaining[np.argmax(q[remaining])])

@@ -1,0 +1,32 @@
+"""Random policy: executes models in a uniformly random order (§II, §VI-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import LabelingState
+from repro.scheduling.base import OrderingPolicy
+from repro.zoo.oracle import GroundTruth
+
+
+class RandomPolicy(OrderingPolicy):
+    """Uniformly random model order, fixed per item at reset time."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._order: list[int] = []
+        self._cursor = 0
+
+    def reset(self, truth: GroundTruth, item_id: str) -> None:
+        self._order = list(self._rng.permutation(len(truth.zoo)))
+        self._cursor = 0
+
+    def next_model(self, state: LabelingState) -> int:
+        while self._cursor < len(self._order):
+            index = self._order[self._cursor]
+            self._cursor += 1
+            if not state.executed[index]:
+                return index
+        raise RuntimeError("random order exhausted")  # pragma: no cover

@@ -1,0 +1,452 @@
+"""Canonical label vocabularies for the 10 visual-analysis tasks (Table I).
+
+The paper deploys 30 models over 10 tasks supporting 1104 labels in total:
+
+======================== ======
+Task                     Labels
+======================== ======
+Object Detection             80
+Place Classification        365
+Face Detection                1
+Face Landmark Localization   70
+Pose Estimation              17
+Emotion Classification        7
+Gender Classification         2
+Action Classification       400
+Hand Landmark Localization   42
+Dog Classification          120
+======================== ======
+
+This module builds those vocabularies.  A core of widely recognizable names
+(COCO object categories, common Places365 scenes, Stanford40-style actions,
+common dog breeds, the 17 COCO pose keypoints, the 7 basic emotions) is
+extended systematically to the exact cardinalities above; synthesized names
+are realistic compounds (e.g. ``"harbor_terrace"``, ``"stacking_crates"``)
+so example output and handcrafted rules stay readable.
+
+Semantic *groups* used by the dataset generator and by the Table II
+handcrafted rules (indoor places, sport actions, animal objects, ...) are
+also defined here, as functions of the vocabularies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Task names (fixed identifiers used throughout the code base)
+# ---------------------------------------------------------------------------
+
+TASK_OBJECT = "object_detection"
+TASK_PLACE = "place_classification"
+TASK_FACE = "face_detection"
+TASK_FACE_LANDMARK = "face_landmark"
+TASK_POSE = "pose_estimation"
+TASK_EMOTION = "emotion_classification"
+TASK_GENDER = "gender_classification"
+TASK_ACTION = "action_classification"
+TASK_HAND_LANDMARK = "hand_landmark"
+TASK_DOG = "dog_classification"
+
+ALL_TASKS: tuple[str, ...] = (
+    TASK_OBJECT,
+    TASK_PLACE,
+    TASK_FACE,
+    TASK_FACE_LANDMARK,
+    TASK_POSE,
+    TASK_EMOTION,
+    TASK_GENDER,
+    TASK_ACTION,
+    TASK_HAND_LANDMARK,
+    TASK_DOG,
+)
+
+#: Label cardinality per task at full (paper) scale — sums to 1104.
+FULL_TASK_SIZES: dict[str, int] = {
+    TASK_OBJECT: 80,
+    TASK_PLACE: 365,
+    TASK_FACE: 1,
+    TASK_FACE_LANDMARK: 70,
+    TASK_POSE: 17,
+    TASK_EMOTION: 7,
+    TASK_GENDER: 2,
+    TASK_ACTION: 400,
+    TASK_HAND_LANDMARK: 42,
+    TASK_DOG: 120,
+}
+
+#: Reduced cardinalities used by unit tests and smoke runs (sums to 58).
+MINI_TASK_SIZES: dict[str, int] = {
+    TASK_OBJECT: 12,
+    TASK_PLACE: 10,
+    TASK_FACE: 1,
+    TASK_FACE_LANDMARK: 5,
+    TASK_POSE: 6,
+    TASK_EMOTION: 4,
+    TASK_GENDER: 2,
+    TASK_ACTION: 10,
+    TASK_HAND_LANDMARK: 2,
+    TASK_DOG: 6,
+}
+
+
+# ---------------------------------------------------------------------------
+# Object detection: the 80 COCO categories
+# ---------------------------------------------------------------------------
+
+OBJECT_NAMES: tuple[str, ...] = (
+    "person", "bicycle", "car", "motorcycle", "airplane", "bus", "train",
+    "truck", "boat", "traffic_light", "fire_hydrant", "stop_sign",
+    "parking_meter", "bench", "bird", "cat", "dog", "horse", "sheep", "cow",
+    "elephant", "bear", "zebra", "giraffe", "backpack", "umbrella",
+    "handbag", "tie", "suitcase", "frisbee", "skis", "snowboard",
+    "sports_ball", "kite", "baseball_bat", "baseball_glove", "skateboard",
+    "surfboard", "tennis_racket", "bottle", "wine_glass", "cup", "fork",
+    "knife", "spoon", "bowl", "banana", "apple", "sandwich", "orange",
+    "broccoli", "carrot", "hot_dog", "pizza", "donut", "cake", "chair",
+    "couch", "potted_plant", "bed", "dining_table", "toilet", "tv_monitor",
+    "laptop", "mouse", "remote", "keyboard", "cell_phone", "microwave",
+    "oven", "toaster", "sink", "refrigerator", "book", "clock", "vase",
+    "scissors", "teddy_bear", "hair_drier", "toothbrush",
+)
+
+#: Curated object subset for the mini (test) world: keeps the person/dog
+#: chains, one vehicle, household and food items so every rule and
+#: correlation path stays exercised.
+MINI_OBJECT_NAMES: tuple[str, ...] = (
+    "person", "dog", "cat", "car", "bicycle", "chair", "couch", "cup",
+    "bottle", "tv_monitor", "sports_ball", "bench",
+)
+
+#: Object groups used for scene->object correlations and Table II rules.
+ANIMAL_OBJECTS: tuple[str, ...] = (
+    "bird", "cat", "dog", "horse", "sheep", "cow", "elephant", "bear",
+    "zebra", "giraffe",
+)
+VEHICLE_OBJECTS: tuple[str, ...] = (
+    "bicycle", "car", "motorcycle", "airplane", "bus", "train", "truck",
+    "boat",
+)
+HOUSEHOLD_OBJECTS: tuple[str, ...] = (
+    "chair", "couch", "potted_plant", "bed", "dining_table", "toilet",
+    "tv_monitor", "laptop", "mouse", "remote", "keyboard", "cell_phone",
+    "microwave", "oven", "toaster", "sink", "refrigerator", "book", "clock",
+    "vase", "scissors", "teddy_bear", "hair_drier", "toothbrush",
+)
+SPORT_OBJECTS: tuple[str, ...] = (
+    "frisbee", "skis", "snowboard", "sports_ball", "kite", "baseball_bat",
+    "baseball_glove", "skateboard", "surfboard", "tennis_racket",
+)
+FOOD_OBJECTS: tuple[str, ...] = (
+    "bottle", "wine_glass", "cup", "fork", "knife", "spoon", "bowl",
+    "banana", "apple", "sandwich", "orange", "broccoli", "carrot",
+    "hot_dog", "pizza", "donut", "cake",
+)
+STREET_OBJECTS: tuple[str, ...] = (
+    "traffic_light", "fire_hydrant", "stop_sign", "parking_meter", "bench",
+)
+CARRY_OBJECTS: tuple[str, ...] = (
+    "backpack", "umbrella", "handbag", "tie", "suitcase",
+)
+
+
+# ---------------------------------------------------------------------------
+# Place classification: 365 scene categories (Places365-style)
+# ---------------------------------------------------------------------------
+
+_INDOOR_PLACE_CORE: tuple[str, ...] = (
+    "pub", "beer_hall", "bathroom", "lobby", "mall", "kitchen",
+    "living_room", "bedroom", "dining_room", "office", "classroom",
+    "library", "museum", "gymnasium", "bowling_alley", "cafeteria",
+    "restaurant", "bar", "coffee_shop", "bakery", "supermarket",
+    "bookstore", "clothing_store", "hospital_room", "hotel_room",
+    "home_office", "basement", "attic", "garage_indoor", "staircase",
+    "corridor", "elevator", "airport_terminal", "train_interior",
+    "subway_station", "art_gallery", "ballroom", "banquet_hall",
+    "conference_room", "laundromat", "locker_room", "pantry",
+    "playroom", "recreation_room", "server_room", "wine_cellar",
+    "movie_theater", "music_studio", "nursery", "operating_room",
+)
+_OUTDOOR_PLACE_CORE: tuple[str, ...] = (
+    "mountain", "beach", "forest", "lawn", "park", "street", "highway",
+    "bridge", "harbor", "lake", "river", "ocean", "desert", "canyon",
+    "cliff", "glacier", "field", "farm", "orchard", "vineyard", "garden",
+    "playground", "stadium", "baseball_field", "basketball_court",
+    "tennis_court", "golf_course", "ski_slope", "swimming_pool_outdoor",
+    "campsite", "picnic_area", "plaza", "courtyard", "alley", "crosswalk",
+    "downtown", "construction_site", "gas_station", "parking_lot",
+    "railroad_track", "runway", "lighthouse", "pier", "boardwalk",
+    "botanical_garden", "amusement_park", "zoo", "pasture", "marsh",
+    "volcano",
+)
+
+_PLACE_PREFIXES: tuple[str, ...] = (
+    "sunlit", "crowded", "quiet", "historic", "modern", "rustic",
+    "industrial", "coastal", "urban", "rural", "alpine", "tropical",
+    "abandoned",
+)
+
+
+def _synthesize_places(total: int) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Extend the core place lists to ``total`` names.
+
+    Returns ``(names, indoor_names)`` where indoor names are roughly 45% of
+    the vocabulary (Places365 has a similar indoor share).  Small totals
+    (the mini world) interleave indoor/outdoor so both kinds survive.
+    """
+    if total <= len(_INDOOR_PLACE_CORE):
+        half = total // 2
+        names = list(_INDOOR_PLACE_CORE[:half]) + list(
+            _OUTDOOR_PLACE_CORE[: total - half]
+        )
+        return tuple(names), tuple(_INDOOR_PLACE_CORE[:half])
+    names: list[str] = list(_INDOOR_PLACE_CORE) + list(_OUTDOOR_PLACE_CORE)
+    indoor: list[str] = list(_INDOOR_PLACE_CORE)
+    core_cycle = list(_INDOOR_PLACE_CORE) + list(_OUTDOOR_PLACE_CORE)
+    i = 0
+    while len(names) < total:
+        base = core_cycle[i % len(core_cycle)]
+        prefix = _PLACE_PREFIXES[(i // len(core_cycle)) % len(_PLACE_PREFIXES)]
+        name = f"{prefix}_{base}"
+        if name not in names:
+            names.append(name)
+            if base in _INDOOR_PLACE_CORE:
+                indoor.append(name)
+        i += 1
+    return tuple(names[:total]), tuple(n for n in indoor if n in names[:total])
+
+
+# ---------------------------------------------------------------------------
+# Pose estimation: the 17 COCO keypoints
+# ---------------------------------------------------------------------------
+
+POSE_KEYPOINT_NAMES: tuple[str, ...] = (
+    "nose", "left_eye", "right_eye", "left_ear", "right_ear",
+    "left_shoulder", "right_shoulder", "left_elbow", "right_elbow",
+    "left_wrist", "right_wrist", "left_hip", "right_hip", "left_knee",
+    "right_knee", "left_ankle", "right_ankle",
+)
+#: Keypoints whose presence triggers the hand-landmark rule in Table II.
+WRIST_KEYPOINTS: tuple[str, ...] = ("left_wrist", "right_wrist")
+
+
+# ---------------------------------------------------------------------------
+# Emotion / gender
+# ---------------------------------------------------------------------------
+
+EMOTION_NAMES: tuple[str, ...] = (
+    "angry", "disgust", "fear", "happy", "sad", "surprise", "neutral",
+)
+GENDER_NAMES: tuple[str, ...] = ("male", "female")
+FACE_NAMES: tuple[str, ...] = ("face",)
+
+
+# ---------------------------------------------------------------------------
+# Action classification: 400 Kinetics-style action categories
+# ---------------------------------------------------------------------------
+
+_ACTION_CORE: tuple[str, ...] = (
+    "drinking_beer", "riding_bike", "making_up", "falling_down",
+    "playing_guitar", "riding_horse", "walking_dog", "reading_book",
+    "cooking", "eating_pizza", "drinking_coffee", "playing_basketball",
+    "playing_tennis", "playing_baseball", "skateboarding", "surfing",
+    "skiing", "snowboarding", "swimming", "running", "jumping", "dancing",
+    "singing", "clapping", "waving_hands", "shaking_hands", "hugging",
+    "texting", "taking_photo", "using_laptop", "writing", "painting",
+    "fishing", "rowing_boat", "climbing_mountain", "gardening",
+    "washing_dishes", "vacuuming", "ironing", "folding_clothes",
+    "brushing_teeth", "combing_hair", "applying_cream", "blow_drying_hair",
+    "playing_chess", "playing_cards", "juggling", "stretching", "yoga",
+    "push_ups",
+)
+_ACTION_VERBS: tuple[str, ...] = (
+    "lifting", "carrying", "throwing", "catching", "kicking", "pushing",
+    "pulling", "stacking", "opening", "closing", "cleaning", "repairing",
+    "assembling", "inspecting", "polishing",
+)
+_ACTION_OBJECTS: tuple[str, ...] = (
+    "boxes", "crates", "bottles", "chairs", "tables", "doors", "windows",
+    "wheels", "ropes", "nets", "barrels", "ladders", "pipes", "tools",
+    "engines", "fences", "tents", "kayaks", "sleds", "drums", "violins",
+    "flutes", "kites", "balloons",
+)
+#: Actions counted as "sport" for Table II's indoor-place rule.
+_SPORT_ACTION_CORE: tuple[str, ...] = (
+    "playing_basketball", "playing_tennis", "playing_baseball",
+    "skateboarding", "surfing", "skiing", "snowboarding", "swimming",
+    "running", "jumping", "yoga", "push_ups",
+)
+
+
+def _synthesize_actions(total: int) -> tuple[str, ...]:
+    names: list[str] = list(_ACTION_CORE)
+    for verb in _ACTION_VERBS:
+        for obj in _ACTION_OBJECTS:
+            if len(names) >= total:
+                break
+            name = f"{verb}_{obj}"
+            if name not in names:
+                names.append(name)
+    i = 0
+    while len(names) < total:  # pragma: no cover - vocabulary safety net
+        names.append(f"action_{i:03d}")
+        i += 1
+    return tuple(names[:total])
+
+
+# ---------------------------------------------------------------------------
+# Dog classification: 120 Stanford-Dogs-style breeds
+# ---------------------------------------------------------------------------
+
+_DOG_CORE: tuple[str, ...] = (
+    "akita", "beagle", "border_collie", "boxer", "bulldog", "chihuahua",
+    "corgi", "dachshund", "dalmatian", "doberman", "german_shepherd",
+    "golden_retriever", "great_dane", "greyhound", "husky",
+    "labrador_retriever", "malamute", "maltese", "mastiff", "newfoundland",
+    "papillon", "pekinese", "pomeranian", "poodle", "pug", "rottweiler",
+    "saint_bernard", "samoyed", "shih_tzu", "whippet",
+)
+_DOG_MODIFIERS: tuple[str, ...] = (
+    "miniature", "standard", "toy", "giant", "wirehaired", "smooth",
+    "longhaired", "curly",
+)
+
+
+def _synthesize_dogs(total: int) -> tuple[str, ...]:
+    names: list[str] = list(_DOG_CORE)
+    for modifier in _DOG_MODIFIERS:
+        for base in _DOG_CORE:
+            if len(names) >= total:
+                break
+            name = f"{modifier}_{base}"
+            if name not in names:
+                names.append(name)
+    return tuple(names[:total])
+
+
+# ---------------------------------------------------------------------------
+# Landmark vocabularies (indexed points)
+# ---------------------------------------------------------------------------
+
+
+def _face_landmark_names(total: int) -> tuple[str, ...]:
+    """70 face-landmark labels (68 contour points + 2 pupils)."""
+    regions = (
+        ("jaw", 17), ("right_brow", 5), ("left_brow", 5), ("nose_bridge", 4),
+        ("nose_tip", 5), ("right_eye", 6), ("left_eye", 6),
+        ("outer_lip", 12), ("inner_lip", 8), ("pupil", 2),
+    )
+    names: list[str] = []
+    for region, count in regions:
+        for i in range(count):
+            names.append(f"face_{region}_{i}")
+    i = 0
+    while len(names) < total:  # pragma: no cover - vocabulary safety net
+        names.append(f"face_point_{i}")
+        i += 1
+    return tuple(names[:total])
+
+
+def _hand_landmark_names(total: int) -> tuple[str, ...]:
+    """42 hand-landmark labels: 21 keypoints per hand x 2 hands."""
+    fingers = ("thumb", "index", "middle", "ring", "pinky")
+    names: list[str] = []
+    for side in ("left", "right"):
+        names.append(f"{side}_palm_base")
+        for finger in fingers:
+            for joint in ("mcp", "pip", "dip", "tip"):
+                names.append(f"{side}_{finger}_{joint}")
+    return tuple(names[:total])
+
+
+# ---------------------------------------------------------------------------
+# Assembled vocabulary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """Per-task label names plus the semantic groups derived from them.
+
+    Instances are built via :func:`build_vocabulary`; the ``full`` scale
+    matches Table I exactly (1104 labels total).
+    """
+
+    task_labels: dict[str, tuple[str, ...]]
+    indoor_places: frozenset[str] = field(default_factory=frozenset)
+    sport_actions: frozenset[str] = field(default_factory=frozenset)
+    animal_objects: frozenset[str] = field(default_factory=frozenset)
+    household_objects: frozenset[str] = field(default_factory=frozenset)
+    vehicle_objects: frozenset[str] = field(default_factory=frozenset)
+    sport_objects: frozenset[str] = field(default_factory=frozenset)
+    food_objects: frozenset[str] = field(default_factory=frozenset)
+    street_objects: frozenset[str] = field(default_factory=frozenset)
+    wrist_keypoints: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def total_labels(self) -> int:
+        return sum(len(v) for v in self.task_labels.values())
+
+    def labels_for(self, task: str) -> tuple[str, ...]:
+        return self.task_labels[task]
+
+
+def build_vocabulary(scale: str = "full") -> Vocabulary:
+    """Build the label vocabulary at ``scale`` ("full" or "mini").
+
+    ``full`` reproduces Table I: 10 tasks, 1104 labels.  ``mini`` is a
+    structurally identical shrunken world for fast tests.
+    """
+    if scale == "full":
+        sizes = FULL_TASK_SIZES
+    elif scale == "mini":
+        sizes = MINI_TASK_SIZES
+    else:
+        raise ValueError(f"unknown vocabulary scale: {scale!r}")
+
+    places, indoor = _synthesize_places(sizes[TASK_PLACE])
+    actions = _synthesize_actions(sizes[TASK_ACTION])
+    dogs = _synthesize_dogs(sizes[TASK_DOG])
+
+    object_names = (
+        OBJECT_NAMES[: sizes[TASK_OBJECT]]
+        if scale == "full"
+        else MINI_OBJECT_NAMES[: sizes[TASK_OBJECT]]
+    )
+    task_labels = {
+        TASK_OBJECT: object_names,
+        TASK_PLACE: places,
+        TASK_FACE: FACE_NAMES[: sizes[TASK_FACE]],
+        TASK_FACE_LANDMARK: _face_landmark_names(sizes[TASK_FACE_LANDMARK]),
+        TASK_POSE: POSE_KEYPOINT_NAMES[: sizes[TASK_POSE]],
+        TASK_EMOTION: EMOTION_NAMES[: sizes[TASK_EMOTION]],
+        TASK_GENDER: GENDER_NAMES[: sizes[TASK_GENDER]],
+        TASK_ACTION: actions,
+        TASK_HAND_LANDMARK: _hand_landmark_names(sizes[TASK_HAND_LANDMARK]),
+        TASK_DOG: dogs,
+    }
+    for task, names in task_labels.items():
+        if len(names) != sizes[task]:
+            raise AssertionError(
+                f"vocabulary for {task} has {len(names)} labels, "
+                f"expected {sizes[task]}"
+            )
+
+    object_set = set(task_labels[TASK_OBJECT])
+    action_set = set(task_labels[TASK_ACTION])
+    pose_set = set(task_labels[TASK_POSE])
+    return Vocabulary(
+        task_labels=task_labels,
+        indoor_places=frozenset(indoor),
+        sport_actions=frozenset(a for a in _SPORT_ACTION_CORE if a in action_set),
+        animal_objects=frozenset(o for o in ANIMAL_OBJECTS if o in object_set),
+        household_objects=frozenset(
+            o for o in HOUSEHOLD_OBJECTS if o in object_set
+        ),
+        vehicle_objects=frozenset(o for o in VEHICLE_OBJECTS if o in object_set),
+        sport_objects=frozenset(o for o in SPORT_OBJECTS if o in object_set),
+        food_objects=frozenset(o for o in FOOD_OBJECTS if o in object_set),
+        street_objects=frozenset(o for o in STREET_OBJECTS if o in object_set),
+        wrist_keypoints=frozenset(k for k in WRIST_KEYPOINTS if k in pose_set),
+    )

@@ -1,0 +1,15 @@
+"""Simulated model zoo: 30 models over 10 visual tasks (Table I).
+
+Each :class:`~repro.zoo.model.SimulatedModel` stands in for one pretrained
+CNN: it has a recorded time cost, a peak GPU-memory cost, and emits
+labels+confidences as a deterministic, seeded function of an item's latent
+content.  The :class:`~repro.zoo.oracle.GroundTruth` cache plays the role of
+the paper's "execute all 30 models on every image and store the outputs"
+protocol (§VI-A).
+"""
+
+from repro.zoo.builder import build_zoo
+from repro.zoo.model import ModelZoo, SimulatedModel
+from repro.zoo.oracle import GroundTruth
+
+__all__ = ["build_zoo", "ModelZoo", "SimulatedModel", "GroundTruth"]

@@ -1,0 +1,33 @@
+"""Zoo assembly: specs + calibration -> :class:`~repro.zoo.model.ModelZoo`."""
+
+from __future__ import annotations
+
+from repro.config import WorldConfig
+from repro.labels import LabelSpace, build_label_space
+from repro.zoo.costs import calibrated_times, specs_for_scale
+from repro.zoo.model import ModelZoo, SimulatedModel
+
+
+def build_zoo(
+    config: WorldConfig | None = None, space: LabelSpace | None = None
+) -> ModelZoo:
+    """Build the simulated model zoo for a world configuration.
+
+    At ``vocab_scale="full"`` this is the paper's setup: 30 models over 10
+    tasks supporting 1104 labels, with total execution time calibrated to
+    ``config.zoo_total_time`` (5.16 s by default, matching §II).
+    """
+    config = config or WorldConfig()
+    space = space or build_label_space(config.vocab_scale)
+    specs = specs_for_scale(config.vocab_scale)
+    times = calibrated_times(specs, config.zoo_total_time)
+    models = [
+        SimulatedModel(
+            spec=spec,
+            space=space,
+            time_cost=times[spec.name],
+            world_seed=config.seed,
+        )
+        for spec in specs
+    ]
+    return ModelZoo(models, space)

@@ -1,0 +1,337 @@
+"""Simulated deep-learning models.
+
+A :class:`SimulatedModel` reads an item's latent content through a
+task-specific lens and emits labels with confidences.  Three behaviours of
+real model zoos matter to the scheduler and are reproduced here:
+
+1. **Content dependence** — a pose estimator emits nothing without people;
+   a dog classifier emits nothing without dogs (Fig. 1 "No Output" cells).
+2. **Low-confidence junk** — weak content or false positives yield labels
+   below the valuable threshold (Fig. 1 "Low-Confidence Output" cells).
+3. **Quality spread** — models of one task share a vocabulary but differ in
+   recall/confidence (which makes label overlap, and hence submodularity of
+   Eq. 1, non-trivial).
+
+Determinism: emission is a pure function of (model name, item id, world
+seed); executing the same model twice on the same item returns the same
+output, mirroring the paper's record-then-replay evaluation protocol.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.config import WorldConfig
+from repro.core.output import LabelOutput, ModelOutput
+from repro.data.datasets import DataItem
+from repro.labels import LabelSpace
+from repro.vocab import (
+    TASK_ACTION,
+    TASK_DOG,
+    TASK_EMOTION,
+    TASK_FACE,
+    TASK_FACE_LANDMARK,
+    TASK_GENDER,
+    TASK_HAND_LANDMARK,
+    TASK_OBJECT,
+    TASK_PLACE,
+    TASK_POSE,
+)
+from repro.zoo.costs import ModelSpec
+
+
+def _confidence(
+    rng: np.random.Generator, strength: float, quality: float, noise: float = 0.07
+) -> float:
+    """Confidence from content strength and model quality.
+
+    Strong content seen by a good model lands well above the 0.5 valuable
+    threshold; weak content lands below it (junk output).
+    """
+    base = strength * (0.45 + 0.62 * quality)
+    return float(np.clip(base + rng.normal(0.0, noise), 0.02, 0.99))
+
+
+class SimulatedModel:
+    """One zoo member: costs + a seeded content->labels emission function."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        space: LabelSpace,
+        time_cost: float,
+        world_seed: int,
+    ):
+        self.name = spec.name
+        self.task = spec.task
+        self.quality = spec.quality
+        #: Average execution time in seconds (the paper's ``m.time``).
+        self.time = time_cost
+        #: Peak GPU memory in MB (the paper's ``m.mem``).
+        self.mem = spec.mem_mb
+        self._space = space
+        self._task_ids = space.task_ids(spec.task)
+        self._seed_salt = zlib.crc32(f"{world_seed}:{spec.name}".encode())
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedModel({self.name}, task={self.task}, "
+            f"time={self.time:.3f}s, mem={self.mem:.0f}MB)"
+        )
+
+    @property
+    def n_labels(self) -> int:
+        """Number of labels this model supports (|L(m)|)."""
+        return len(self._task_ids)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, item: DataItem) -> ModelOutput:
+        """Run the model on ``item`` and return its (deterministic) output."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self._seed_salt, zlib.crc32(item.item_id.encode())]
+            )
+        )
+        emitted = self._emit(item, rng)
+        labels = tuple(
+            LabelOutput(
+                label_id=int(self._task_ids[local]),
+                name=self._space.name_of(int(self._task_ids[local])),
+                confidence=conf,
+            )
+            for local, conf in emitted
+        )
+        return ModelOutput(model=self.name, item_id=item.item_id, labels=labels)
+
+    # -- per-task emission lenses -------------------------------------------
+
+    def _emit(
+        self, item: DataItem, rng: np.random.Generator
+    ) -> list[tuple[int, float]]:
+        content = item.content
+        handlers = {
+            TASK_OBJECT: self._emit_objects,
+            TASK_PLACE: self._emit_place,
+            TASK_FACE: self._emit_face,
+            TASK_FACE_LANDMARK: self._emit_face_landmarks,
+            TASK_POSE: self._emit_pose,
+            TASK_EMOTION: self._emit_emotion,
+            TASK_GENDER: self._emit_gender,
+            TASK_ACTION: self._emit_action,
+            TASK_HAND_LANDMARK: self._emit_hand_landmarks,
+            TASK_DOG: self._emit_dog,
+        }
+        return handlers[self.task](content, rng)
+
+    def _emit_objects(self, content, rng) -> list[tuple[int, float]]:
+        out: list[tuple[int, float]] = []
+        for obj, strength in content.objects.items():
+            # Detection probability grows with quality and object strength.
+            p_detect = self.quality * (0.55 + 0.45 * strength)
+            if rng.random() < p_detect:
+                out.append((obj, _confidence(rng, strength, self.quality)))
+        # Rare false positive: a random category at junk confidence.
+        if rng.random() < 0.08:
+            fp = int(rng.integers(self.n_labels))
+            if fp not in content.objects:
+                out.append((fp, float(rng.uniform(0.08, 0.42))))
+        return out
+
+    def _emit_place(self, content, rng) -> list[tuple[int, float]]:
+        out = [
+            (
+                content.scene,
+                _confidence(rng, content.scene_strength, self.quality),
+            )
+        ]
+        # Classifiers emit a runner-up guess at low confidence.
+        if rng.random() < 0.5:
+            runner_up = int(rng.integers(self.n_labels))
+            if runner_up != content.scene:
+                out.append((runner_up, float(rng.uniform(0.05, 0.35))))
+        return out
+
+    def _emit_face(self, content, rng) -> list[tuple[int, float]]:
+        faces = [p for p in content.persons if p.face_visible]
+        if faces:
+            strength = max(p.face_strength for p in faces)
+            return [(0, _confidence(rng, strength, self.quality))]
+        if content.has_person and rng.random() < 0.15:
+            # Occluded face: junk-confidence detection.
+            return [(0, float(rng.uniform(0.08, 0.4)))]
+        return []
+
+    def _emit_face_landmarks(self, content, rng) -> list[tuple[int, float]]:
+        faces = [p for p in content.persons if p.face_visible]
+        if not faces:
+            return []
+        strength = max(p.face_strength for p in faces)
+        # Number of localized points grows with face strength and quality.
+        frac = np.clip(strength * self.quality + rng.normal(0, 0.05), 0.0, 1.0)
+        n_points = int(round(frac * self.n_labels))
+        picked = rng.choice(self.n_labels, size=n_points, replace=False)
+        return [
+            (int(p), _confidence(rng, strength, self.quality, noise=0.05))
+            for p in picked
+        ]
+
+    def _emit_pose(self, content, rng) -> list[tuple[int, float]]:
+        if not content.persons:
+            return []
+        out: dict[int, float] = {}
+        for person in content.persons:
+            for kp in person.visible_keypoints:
+                if rng.random() < self.quality * 0.9:
+                    conf = _confidence(
+                        rng, person.prominence, self.quality, noise=0.05
+                    )
+                    out[kp] = max(out.get(kp, 0.0), conf)
+        return list(out.items())
+
+    def _emit_emotion(self, content, rng) -> list[tuple[int, float]]:
+        faces = [
+            p for p in content.persons if p.face_visible and p.emotion is not None
+        ]
+        if not faces:
+            return []
+        best = max(faces, key=lambda p: p.face_strength)
+        conf = _confidence(rng, best.face_strength, self.quality)
+        out = [(int(best.emotion), conf)]
+        if rng.random() < 0.3:
+            other = int(rng.integers(self.n_labels))
+            if other != best.emotion:
+                out.append((other, float(rng.uniform(0.05, 0.3))))
+        return out
+
+    def _emit_gender(self, content, rng) -> list[tuple[int, float]]:
+        visible = [p for p in content.persons if p.face_visible]
+        if not visible:
+            # Gender nets need a face crop; bodies alone give junk output.
+            if content.has_person and rng.random() < 0.3:
+                return [
+                    (int(rng.integers(self.n_labels)), float(rng.uniform(0.1, 0.45)))
+                ]
+            return []
+        out: dict[int, float] = {}
+        for person in visible:
+            conf = _confidence(rng, person.face_strength, self.quality)
+            out[person.gender] = max(out.get(person.gender, 0.0), conf)
+        return list(out.items())
+
+    def _emit_action(self, content, rng) -> list[tuple[int, float]]:
+        if content.action is not None:
+            conf = _confidence(rng, content.action_strength, self.quality)
+            out = [(int(content.action), conf)]
+            if rng.random() < 0.4:
+                other = int(rng.integers(self.n_labels))
+                if other != content.action:
+                    out.append((other, float(rng.uniform(0.05, 0.35))))
+            return out
+        if content.has_person and rng.random() < 0.5:
+            # People but no recognizable action: low-confidence guess.
+            return [
+                (int(rng.integers(self.n_labels)), float(rng.uniform(0.05, 0.4)))
+            ]
+        return []
+
+    def _emit_hand_landmarks(self, content, rng) -> list[tuple[int, float]]:
+        handed = [
+            p
+            for p in content.persons
+            if p.hands_visible > 0 and p.wrists_visible
+        ]
+        if not handed:
+            return []
+        best = max(handed, key=lambda p: p.prominence)
+        per_hand = self.n_labels // 2
+        out: list[tuple[int, float]] = []
+        for hand in range(min(best.hands_visible, 2)):
+            frac = np.clip(
+                best.prominence * self.quality + rng.normal(0, 0.05), 0.0, 1.0
+            )
+            n_points = int(round(frac * per_hand))
+            offset = hand * per_hand
+            picked = rng.choice(per_hand, size=n_points, replace=False)
+            out.extend(
+                (
+                    int(offset + p),
+                    _confidence(rng, best.prominence, self.quality, noise=0.05),
+                )
+                for p in picked
+            )
+        return out
+
+    def _emit_dog(self, content, rng) -> list[tuple[int, float]]:
+        if content.dog_breed is not None:
+            conf = _confidence(rng, content.dog_strength, self.quality)
+            out = [(int(content.dog_breed), conf)]
+            if rng.random() < 0.3:
+                other = int(rng.integers(self.n_labels))
+                if other != content.dog_breed:
+                    out.append((other, float(rng.uniform(0.05, 0.35))))
+            return out
+        if rng.random() < 0.1:
+            # Breed classifiers hallucinate on furry non-dogs occasionally.
+            return [
+                (int(rng.integers(self.n_labels)), float(rng.uniform(0.05, 0.35)))
+            ]
+        return []
+
+
+class ModelZoo:
+    """The ordered collection of simulated models (the paper's set ``M``)."""
+
+    def __init__(self, models: Sequence[SimulatedModel], space: LabelSpace):
+        self._models = tuple(models)
+        self.space = space
+        self._by_name = {m.name: m for m in self._models}
+        if len(self._by_name) != len(self._models):
+            raise ValueError("duplicate model names in zoo")
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[SimulatedModel]:
+        return iter(self._models)
+
+    def __getitem__(self, index: int) -> SimulatedModel:
+        return self._models[index]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def models(self) -> tuple[SimulatedModel, ...]:
+        return self._models
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self._models)
+
+    def by_name(self, name: str) -> SimulatedModel:
+        return self._by_name[name]
+
+    def index_of(self, name: str) -> int:
+        return self._models.index(self._by_name[name])
+
+    def models_for_task(self, task: str) -> tuple[SimulatedModel, ...]:
+        return tuple(m for m in self._models if m.task == task)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Per-model execution times, aligned with zoo order."""
+        return np.asarray([m.time for m in self._models], dtype=np.float64)
+
+    @property
+    def mems(self) -> np.ndarray:
+        """Per-model memory costs (MB), aligned with zoo order."""
+        return np.asarray([m.mem for m in self._models], dtype=np.float64)
+
+    @property
+    def total_time(self) -> float:
+        """Cost of the paper's "no policy": run everything."""
+        return float(self.times.sum())

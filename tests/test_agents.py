@@ -1,0 +1,244 @@
+"""Q agents: target rules, masking, learning on a toy problem, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agents import (
+    AGENT_REGISTRY,
+    DeepSARSAAgent,
+    DoubleDQNAgent,
+    DQNAgent,
+    DuelingDQNAgent,
+    make_agent,
+    masked_argmax,
+)
+from repro.rl.replay import Batch
+
+ALGOS = sorted(AGENT_REGISTRY)
+
+
+def make_batch(
+    obs,
+    actions,
+    rewards,
+    next_obs,
+    dones,
+    next_valids,
+    next_actions=None,
+):
+    n = len(actions)
+    return Batch(
+        obs=np.asarray(obs, dtype=np.float64),
+        actions=np.asarray(actions, dtype=np.int64),
+        rewards=np.asarray(rewards, dtype=np.float64),
+        next_obs=np.asarray(next_obs, dtype=np.float64),
+        dones=np.asarray(dones, dtype=bool),
+        next_valids=np.asarray(next_valids, dtype=bool),
+        next_actions=np.asarray(
+            next_actions if next_actions is not None else [-1] * n, dtype=np.int64
+        ),
+    )
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        """The paper's four schemes plus the combined extension."""
+        assert set(AGENT_REGISTRY) == {
+            "dqn",
+            "double_dqn",
+            "dueling_dqn",
+            "deep_sarsa",
+            "double_dueling_dqn",
+        }
+
+    def test_double_dueling_combines_both(self):
+        from repro.rl.nn.net import DuelingQNetwork
+
+        agent = make_agent(
+            "double_dueling_dqn", obs_dim=6, n_actions=4, hidden_size=8
+        )
+        assert isinstance(agent.online, DuelingQNetwork)
+        # inherits the DoubleDQN bootstrap rule
+        from repro.rl.agents import DoubleDQNAgent
+
+        assert isinstance(agent, DoubleDQNAgent)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_make_agent(self, algo):
+        agent = make_agent(algo, obs_dim=6, n_actions=4, hidden_size=8)
+        assert agent.algo == algo
+        assert agent.q_values(np.zeros(6)).shape == (4,)
+
+    def test_unknown_algo(self):
+        with pytest.raises(ValueError, match="unknown agent algo"):
+            make_agent("rainbow", obs_dim=4, n_actions=2)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            DQNAgent(obs_dim=4, n_actions=2, gamma=1.0)
+
+
+class TestMaskedArgmax:
+    def test_respects_mask(self):
+        q = np.asarray([5.0, 1.0, 3.0])
+        valid = np.asarray([False, True, True])
+        assert masked_argmax(q, valid) == 2
+
+    def test_no_valid_raises(self):
+        with pytest.raises(ValueError):
+            masked_argmax(np.zeros(3), np.zeros(3, dtype=bool))
+
+
+class TestActing:
+    def test_greedy_act_uses_mask(self):
+        agent = DQNAgent(obs_dim=4, n_actions=3, hidden_size=8, seed=0)
+        obs = np.zeros(4)
+        q = agent.q_values(obs)
+        best = int(np.argmax(q))
+        valid = np.ones(3, dtype=bool)
+        valid[best] = False
+        chosen = agent.act(obs, valid, epsilon=0.0)
+        assert chosen != best
+        assert valid[chosen]
+
+    def test_epsilon_one_is_uniform_over_valid(self):
+        agent = DQNAgent(obs_dim=4, n_actions=4, hidden_size=8, seed=0)
+        valid = np.asarray([True, False, True, False])
+        picks = {agent.act(np.zeros(4), valid, epsilon=1.0) for _ in range(60)}
+        assert picks <= {0, 2}
+        assert len(picks) == 2
+
+
+class TestTargets:
+    """Single-transition updates drive Q(s, a) to analytically known values."""
+
+    def _train_single(self, agent, batch, steps=800):
+        for _ in range(steps):
+            agent.update(batch)
+            agent.sync_target()
+        return agent
+
+    def test_dqn_terminal_target_is_reward(self):
+        agent = DQNAgent(obs_dim=3, n_actions=2, hidden_size=16, gamma=0.5, seed=0)
+        obs = np.asarray([[1.0, 0.0, 0.0]])
+        batch = make_batch(
+            obs, [0], [2.0], np.zeros((1, 3)), [True], [[False, False]]
+        )
+        self._train_single(agent, batch)
+        assert agent.q_values(obs[0])[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_dqn_bootstrap_uses_masked_max(self):
+        """Invalid next actions must not leak into the max."""
+        agent = DQNAgent(obs_dim=3, n_actions=2, hidden_size=16, gamma=0.5, seed=0)
+        s0 = np.asarray([[1.0, 0.0, 0.0]])
+        s1 = np.asarray([[0.0, 1.0, 0.0]])
+        # First pin Q(s1, .) = [5, -1]; action 0 will be masked invalid.
+        pin = make_batch(
+            np.vstack([s1, s1]),
+            [0, 1],
+            [5.0, -1.0],
+            np.zeros((2, 3)),
+            [True, True],
+            [[False, False]] * 2,
+        )
+        self._train_single(agent, pin)
+        # Now learn Q(s0, 0) = 1 + 0.5 * max(valid Q(s1)) with only a1 valid.
+        transition = make_batch(
+            s0, [0], [1.0], s1, [False], [[False, True]]
+        )
+        self._train_single(agent, transition)
+        expected = 1.0 + 0.5 * agent.q_values(s1[0])[1]
+        assert agent.q_values(s0[0])[0] == pytest.approx(expected, abs=0.1)
+
+    def test_sarsa_bootstraps_taken_action(self):
+        agent = DeepSARSAAgent(
+            obs_dim=3, n_actions=2, hidden_size=16, gamma=0.5, seed=0
+        )
+        s0 = np.asarray([[1.0, 0.0, 0.0]])
+        s1 = np.asarray([[0.0, 1.0, 0.0]])
+        pin = make_batch(
+            np.vstack([s1, s1]),
+            [0, 1],
+            [5.0, -1.0],
+            np.zeros((2, 3)),
+            [True, True],
+            [[False, False]] * 2,
+            next_actions=[-1, -1],
+        )
+        self._train_single(agent, pin)
+        # Behaviour policy took the *bad* action a=1 next: SARSA must use it.
+        transition = make_batch(
+            s0, [0], [1.0], s1, [False], [[True, True]], next_actions=[1]
+        )
+        self._train_single(agent, transition)
+        expected = 1.0 + 0.5 * agent.q_values(s1[0])[1]  # not the max!
+        assert agent.q_values(s0[0])[0] == pytest.approx(expected, abs=0.1)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_update_reduces_loss(self, algo):
+        rng = np.random.default_rng(1)
+        agent = make_agent(algo, obs_dim=5, n_actions=3, hidden_size=16, seed=2)
+        batch = make_batch(
+            rng.normal(size=(16, 5)),
+            rng.integers(0, 3, size=16),
+            rng.normal(size=16),
+            rng.normal(size=(16, 5)),
+            [False] * 16,
+            np.ones((16, 3)),
+            next_actions=rng.integers(0, 3, size=16),
+        )
+        first = agent.update(batch)
+        for _ in range(150):
+            last = agent.update(batch)
+        assert last < first
+
+    def test_double_dqn_differs_from_dqn(self):
+        """Selection/evaluation decoupling changes bootstrap values.
+
+        Craft constant networks: online prefers action 1, target values
+        action 0 highest.  DQN bootstraps max(target) = 5; DoubleDQN
+        bootstraps target[argmax(online)] = 1.
+        """
+        def pin_constant(net, biases):
+            for layer in (net.fc1, net.fc2):
+                layer.W.fill(0.0)
+                layer.b.fill(0.0)
+            net.fc2.b[:] = biases
+
+        dqn = DQNAgent(obs_dim=4, n_actions=3, hidden_size=8, seed=0)
+        ddqn = DoubleDQNAgent(obs_dim=4, n_actions=3, hidden_size=8, seed=0)
+        for agent in (dqn, ddqn):
+            pin_constant(agent.online, [0.0, 1.0, 0.0])
+            pin_constant(agent.target, [5.0, 1.0, 0.0])
+        batch = make_batch(
+            np.zeros((2, 4)),
+            [0, 0],
+            [0.0, 0.0],
+            np.zeros((2, 4)),
+            [False, False],
+            np.ones((2, 3)),
+        )
+        assert np.allclose(dqn._bootstrap_values(batch), 5.0)
+        assert np.allclose(ddqn._bootstrap_values(batch), 1.0)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_save_load_roundtrip(self, algo, tmp_path):
+        agent = make_agent(algo, obs_dim=6, n_actions=4, hidden_size=8, seed=1)
+        obs = np.random.default_rng(0).random(6)
+        expected = agent.q_values(obs)
+        path = tmp_path / "agent.npz"
+        agent.save(path)
+        fresh = make_agent(algo, obs_dim=6, n_actions=4, hidden_size=8, seed=99)
+        assert not np.allclose(fresh.q_values(obs), expected)
+        fresh.load(path)
+        assert np.allclose(fresh.q_values(obs), expected)
+
+    def test_load_into_wrong_architecture(self, tmp_path):
+        a = make_agent("dqn", obs_dim=6, n_actions=4, hidden_size=8)
+        path = tmp_path / "agent.npz"
+        a.save(path)
+        b = make_agent("dqn", obs_dim=6, n_actions=4, hidden_size=16)
+        with pytest.raises(ValueError):
+            b.load(path)

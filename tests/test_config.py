@@ -1,0 +1,69 @@
+"""Configuration presets and validation."""
+
+import pytest
+
+from repro.config import (
+    TrainConfig,
+    WorldConfig,
+    bench_scale,
+    get_scale,
+    paper_scale,
+    smoke_scale,
+)
+
+
+class TestWorldConfig:
+    def test_defaults_match_paper(self):
+        config = WorldConfig()
+        assert config.vocab_scale == "full"
+        assert config.zoo_total_time == pytest.approx(5.16)
+        assert config.valuable_confidence == 0.5
+
+    def test_with_seed(self):
+        config = WorldConfig().with_seed(42)
+        assert config.seed == 42
+        assert config.vocab_scale == "full"
+
+
+class TestTrainConfig:
+    def test_with_override(self):
+        config = TrainConfig().with_(episodes=7, gamma=0.0)
+        assert config.episodes == 7
+        assert config.gamma == 0.0
+        # untouched fields keep defaults
+        assert config.hidden_size == TrainConfig().hidden_size
+
+    def test_default_gamma_near_myopic(self):
+        """The gamma ablation motivated this default; guard it."""
+        assert TrainConfig().gamma <= 0.5
+
+
+class TestScales:
+    def test_three_presets(self):
+        for name, factory in (
+            ("smoke", smoke_scale),
+            ("bench", bench_scale),
+            ("paper", paper_scale),
+        ):
+            scale = factory()
+            assert scale.name == name
+            assert get_scale(name).name == name
+
+    def test_smoke_is_mini_world(self):
+        assert smoke_scale().world.vocab_scale == "mini"
+        assert not smoke_scale().is_full_world
+
+    def test_bench_and_paper_are_full_world(self):
+        assert bench_scale().is_full_world
+        assert paper_scale().is_full_world
+
+    def test_paper_trains_longer_than_bench(self):
+        assert paper_scale().train.episodes > bench_scale().train.episodes
+        assert paper_scale().items_per_dataset > bench_scale().items_per_dataset
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("galactic")
+
+    def test_seed_threading(self):
+        assert get_scale("bench", seed=7).world.seed == 7

@@ -1,0 +1,219 @@
+"""Data substrate: determinism, profile effects, content coherence."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorldConfig
+from repro.data.correlations import build_scene_affinities
+from repro.data.datasets import generate_dataset, train_test_split
+from repro.data.generator import WorldGenerator
+from repro.data.profiles import DATASET_PROFILES, DatasetProfile
+from repro.data.streams import chunked_stream, iid_stream
+from repro.labels import build_label_space
+
+
+class TestDeterminism:
+    def test_same_seed_same_content(self, space, world_config):
+        g1 = WorldGenerator(space, world_config)
+        g2 = WorldGenerator(space, world_config)
+        for i in range(20):
+            a = g1.generate_content("mscoco2017", i)
+            b = g2.generate_content("mscoco2017", i)
+            assert a == b
+
+    def test_different_seed_differs(self, space, world_config):
+        g1 = WorldGenerator(space, world_config)
+        g2 = WorldGenerator(space, world_config.with_seed(999))
+        diffs = sum(
+            g1.generate_content("mscoco2017", i) != g2.generate_content("mscoco2017", i)
+            for i in range(20)
+        )
+        assert diffs > 10
+
+    def test_items_independent_of_dataset_size(self, space, world_config):
+        """Item i is identical whether we generate 10 or 100 items."""
+        d10 = generate_dataset(space, world_config, "voc2012", 10)
+        d100 = generate_dataset(space, world_config, "voc2012", 100)
+        for i in range(10):
+            assert d10[i].content == d100[i].content
+
+    def test_datasets_differ_from_each_other(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        same = sum(
+            g.generate_content("mscoco2017", i) == g.generate_content("places365", i)
+            for i in range(20)
+        )
+        assert same <= 2
+
+
+class TestProfiles:
+    def test_all_five_datasets_exist(self):
+        assert set(DATASET_PROFILES) == {
+            "mscoco2017",
+            "places365",
+            "mirflickr25",
+            "stanford40",
+            "voc2012",
+        }
+
+    def test_stanford40_has_most_actions(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        counts = {}
+        for name in ("stanford40", "places365"):
+            items = [g.generate_content(name, i) for i in range(300)]
+            counts[name] = sum(1 for c in items if c.action is not None)
+        assert counts["stanford40"] > counts["places365"] * 1.5
+
+    def test_person_rates_follow_profile(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        rates = {}
+        for name in ("stanford40", "places365"):
+            items = [g.generate_content(name, i) for i in range(300)]
+            rates[name] = sum(1 for c in items if c.has_person) / len(items)
+        assert rates["stanford40"] > rates["places365"]
+
+    def test_invalid_profile_params_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetProfile(
+                name="bad",
+                mean_objects=-1.0,
+                person_boost=1.0,
+                face_given_person=0.5,
+                action_given_person=0.5,
+                dog_prob=0.1,
+                indoor_bias=1.0,
+                sport_bias=1.0,
+                scene_strength_mean=0.5,
+                object_strength_mean=0.5,
+            )
+        with pytest.raises(ValueError):
+            DatasetProfile(
+                name="bad",
+                mean_objects=1.0,
+                person_boost=1.0,
+                face_given_person=1.5,
+                action_given_person=0.5,
+                dog_prob=0.1,
+                indoor_bias=1.0,
+                sport_bias=1.0,
+                scene_strength_mean=0.5,
+                object_strength_mean=0.5,
+            )
+
+    def test_unknown_dataset_rejected(self, space, world_config):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            generate_dataset(space, world_config, "imagenet", 5)
+
+
+class TestContentCoherence:
+    def test_persons_imply_person_object(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        person_obj = space.vocabulary.labels_for("object_detection").index("person")
+        for i in range(100):
+            content = g.generate_content("mirflickr25", i)
+            if content.has_person:
+                assert person_obj in content.objects
+
+    def test_dog_breed_implies_dog_object(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        dog_obj = space.vocabulary.labels_for("object_detection").index("dog")
+        found = 0
+        for i in range(400):
+            content = g.generate_content("voc2012", i)
+            if content.dog_breed is not None:
+                found += 1
+                assert dog_obj in content.objects
+                assert content.dog_strength > 0
+        assert found > 0
+
+    def test_action_requires_person(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        for i in range(150):
+            content = g.generate_content("stanford40", i)
+            if content.action is not None:
+                assert content.has_person
+
+    def test_face_strength_zero_when_invisible(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        for i in range(100):
+            for person in g.generate_content("mscoco2017", i).persons:
+                if not person.face_visible:
+                    assert person.face_strength == 0.0
+                    assert person.emotion is None
+
+    def test_strengths_in_unit_interval(self, space, world_config):
+        g = WorldGenerator(space, world_config)
+        for i in range(80):
+            content = g.generate_content("mscoco2017", i)
+            assert 0 < content.scene_strength <= 1
+            for strength in content.objects.values():
+                assert 0 < strength <= 1
+
+
+class TestAffinities:
+    def test_indoor_scenes_prefer_household_objects(self, space, world_config):
+        aff = build_scene_affinities(space)
+        vocab = space.vocabulary
+        objects = vocab.labels_for("object_detection")
+        household = [i for i, o in enumerate(objects) if o in vocab.household_objects]
+        animals = [i for i, o in enumerate(objects) if o in vocab.animal_objects]
+        if not household or not animals:
+            pytest.skip("mini world lacks one of the groups")
+        indoor_rows = aff.object_affinity[aff.indoor]
+        outdoor_rows = aff.object_affinity[~aff.indoor]
+        assert indoor_rows[:, household].mean() > outdoor_rows[:, household].mean()
+        assert indoor_rows[:, animals].mean() < outdoor_rows[:, animals].mean()
+
+
+class TestSplitsAndStreams:
+    def test_split_ratio(self, space, world_config):
+        ds = generate_dataset(space, world_config, "mscoco2017", 100)
+        train, test = train_test_split(ds)
+        assert len(train) == 20
+        assert len(test) == 80
+        ids = {i.item_id for i in train} | {i.item_id for i in test}
+        assert len(ids) == 100
+
+    def test_split_bad_fraction(self, space, world_config):
+        ds = generate_dataset(space, world_config, "mscoco2017", 10)
+        with pytest.raises(ValueError):
+            train_test_split(ds, train_fraction=0.0)
+
+    def test_iid_stream_matches_dataset(self, space, world_config):
+        items = list(iid_stream(space, world_config, "voc2012", 5))
+        ds = generate_dataset(space, world_config, "voc2012", 5)
+        for stream_item, ds_item in zip(items, ds):
+            assert stream_item.content == ds_item.content
+
+    def test_chunked_stream_shares_scene_within_chunk(self, space, world_config):
+        stream = list(
+            chunked_stream(space, world_config, "mscoco2017", n_chunks=5,
+                           chunk_length=6, seed=3)
+        )
+        assert len(stream) == 30
+        by_chunk = {}
+        for ci in stream:
+            by_chunk.setdefault(ci.chunk_id, []).append(ci)
+        for chunk_items in by_chunk.values():
+            scenes = {c.item.content.scene for c in chunk_items}
+            assert len(scenes) == 1  # anchor scene persists within the chunk
+
+    def test_chunked_stream_positions(self, space, world_config):
+        stream = list(
+            chunked_stream(space, world_config, "mscoco2017", 2, 4, seed=1)
+        )
+        positions = [c.position for c in stream]
+        assert positions == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert stream[0].is_chunk_start and not stream[1].is_chunk_start
+
+    def test_chunked_stream_validates_length(self, space, world_config):
+        with pytest.raises(ValueError):
+            list(chunked_stream(space, world_config, "mscoco2017", 1, 0))
+
+    def test_dataset_sample_and_subset(self, space, world_config):
+        ds = generate_dataset(space, world_config, "mscoco2017", 30)
+        sample = ds.sample(10, seed=4)
+        assert len(sample) == 10
+        assert len({i.item_id for i in sample}) == 10
+        sub = ds.subset([0, 2, 4])
+        assert [i.index for i in sub] == [0, 2, 4]

@@ -1,0 +1,81 @@
+"""LabelSpace: global id bijection, task ranges, vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.labels import build_label_space
+from repro.vocab import ALL_TASKS, TASK_OBJECT, TASK_PLACE
+
+
+@pytest.fixture(scope="module")
+def full_space():
+    return build_label_space("full")
+
+
+class TestIndexing:
+    def test_len_matches_vocabulary(self, full_space):
+        assert len(full_space) == 1104
+
+    def test_roundtrip_name_id(self, full_space):
+        for name in ("person", "pub", "face", "left_wrist", "akita"):
+            gid = full_space.id_of(name)
+            assert full_space.name_of(gid) == name
+
+    def test_ids_are_dense_and_ordered_by_task(self, full_space):
+        seen = []
+        for task in ALL_TASKS:
+            r = full_space.task_range(task)
+            seen.extend(range(r.start, r.stop))
+        assert seen == list(range(len(full_space)))
+
+    def test_task_of(self, full_space):
+        assert full_space.task_of(full_space.id_of("person")) == TASK_OBJECT
+        assert full_space.task_of(full_space.id_of("pub")) == TASK_PLACE
+
+    def test_info_consistency(self, full_space):
+        info = full_space.info(full_space.id_of("dog"))
+        assert info.name == "dog"
+        assert info.task == TASK_OBJECT
+        local = full_space.vocabulary.labels_for(TASK_OBJECT).index("dog")
+        assert info.local_id == local
+
+    def test_unknown_label_raises(self, full_space):
+        with pytest.raises(KeyError):
+            full_space.id_of("not_a_label")
+
+    def test_contains(self, full_space):
+        assert "person" in full_space
+        assert "unicorn_detector" not in full_space
+
+    def test_task_ids_array(self, full_space):
+        ids = full_space.task_ids(TASK_OBJECT)
+        assert len(ids) == 80
+        assert ids.dtype == np.int64
+        assert (np.diff(ids) == 1).all()
+
+    def test_ids_of_batch(self, full_space):
+        ids = full_space.ids_of(["person", "dog"])
+        assert full_space.name_of(int(ids[0])) == "person"
+        assert full_space.name_of(int(ids[1])) == "dog"
+
+
+class TestVectorHelpers:
+    def test_empty_state(self, full_space):
+        state = full_space.empty_state()
+        assert state.shape == (1104,)
+        assert state.dtype == np.float32
+        assert not state.any()
+
+    def test_names_of_state(self, full_space):
+        state = full_space.empty_state()
+        state[full_space.id_of("person")] = 1.0
+        state[full_space.id_of("pub")] = 1.0
+        names = full_space.names_of_state(state)
+        assert set(names) == {"person", "pub"}
+
+    def test_mini_space_consistent(self):
+        mini = build_label_space("mini")
+        assert len(mini) == mini.vocabulary.total_labels
+        for task in ALL_TASKS:
+            r = mini.task_range(task)
+            assert len(r) == len(mini.vocabulary.labels_for(task))

@@ -1,0 +1,96 @@
+"""Persistence round-trips and the CLI workflow."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.persistence import load_ground_truth, save_ground_truth
+from repro.zoo.builder import build_zoo
+from repro.config import WorldConfig
+
+
+class TestGroundTruthPersistence:
+    def test_roundtrip_preserves_replay(self, truth, zoo, world_config, tmp_path):
+        path = tmp_path / "gt.npz"
+        save_ground_truth(truth, path)
+        loaded = load_ground_truth(zoo, path, world_config)
+        assert len(loaded) == len(truth)
+        for item_id in list(truth.item_ids)[:20]:
+            assert loaded.total_value(item_id) == pytest.approx(
+                truth.total_value(item_id)
+            )
+            assert np.allclose(
+                loaded.solo_values(item_id), truth.solo_values(item_id)
+            )
+            for j in range(len(zoo)):
+                assert loaded.output(item_id, j) == truth.output(item_id, j)
+
+    def test_zoo_mismatch_rejected(self, truth, world_config, tmp_path, space):
+        path = tmp_path / "gt.npz"
+        save_ground_truth(truth, path)
+        other_zoo = build_zoo(
+            WorldConfig(vocab_scale="mini", seed=world_config.seed + 1), space
+        )
+        # same names -> loads fine even with different seed (replay data wins)
+        loaded = load_ground_truth(other_zoo, path, world_config)
+        assert len(loaded) == len(truth)
+
+    def test_wrong_scale_zoo_rejected(self, truth, tmp_path):
+        path = tmp_path / "gt.npz"
+        save_ground_truth(truth, path)
+        full_zoo = build_zoo(WorldConfig(vocab_scale="full"))
+        with pytest.raises(ValueError, match="zoo mismatch"):
+            load_ground_truth(full_zoo, path)
+
+
+class TestCLI:
+    def test_zoo_command(self, capsys):
+        assert main(["--scale", "mini", "zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "10 models" in out
+
+    def test_record_train_schedule_graph_workflow(self, tmp_path, capsys):
+        gt_path = tmp_path / "gt.npz"
+        agent_path = tmp_path / "agent.npz"
+        base = ["--scale", "mini"]
+        assert main(base + [
+            "record", "--dataset", "mscoco2017", "--items", "80",
+            "--out", str(gt_path),
+        ]) == 0
+        assert gt_path.exists()
+        assert main(base + [
+            "train", "--truth", str(gt_path), "--algo", "dqn",
+            "--episodes", "30", "--hidden", "16", "--out", str(agent_path),
+        ]) == 0
+        assert agent_path.exists()
+        assert main(base + [
+            "schedule", "--truth", str(gt_path), "--agent", str(agent_path),
+            "--algo", "dqn", "--hidden", "16", "--deadline", "0.3",
+            "--items", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean value recall" in out
+        assert main(base + [
+            "graph", "--truth", str(gt_path), "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lift" in out
+
+    def test_schedule_with_memory(self, tmp_path, capsys):
+        gt_path = tmp_path / "gt.npz"
+        agent_path = tmp_path / "agent.npz"
+        base = ["--scale", "mini"]
+        main(base + [
+            "record", "--dataset", "voc2012", "--items", "60",
+            "--out", str(gt_path),
+        ])
+        main(base + [
+            "train", "--truth", str(gt_path), "--algo", "dqn",
+            "--episodes", "20", "--hidden", "16", "--out", str(agent_path),
+        ])
+        assert main(base + [
+            "schedule", "--truth", str(gt_path), "--agent", str(agent_path),
+            "--algo", "dqn", "--hidden", "16", "--deadline", "0.3",
+            "--memory", "8000", "--items", "5", "--verbose",
+        ]) == 0
+        assert "memory=8000" in capsys.readouterr().out

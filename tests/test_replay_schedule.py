@@ -1,0 +1,120 @@
+"""Replay buffer ring semantics + epsilon schedule, incl. hypothesis checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.schedule import EpsilonSchedule
+
+
+def make_transition(i: int, obs_dim: int = 4, n_actions: int = 3) -> Transition:
+    return Transition(
+        obs=np.full(obs_dim, i, dtype=np.float32),
+        action=i % n_actions,
+        reward=float(i),
+        next_obs=np.full(obs_dim, i + 1, dtype=np.float32),
+        done=(i % 5 == 0),
+        next_valid=np.ones(n_actions, dtype=bool),
+        next_action=(i + 1) % n_actions,
+    )
+
+
+class TestReplayBuffer:
+    def test_push_grows_until_capacity(self):
+        buf = ReplayBuffer(capacity=5, obs_dim=4, n_actions=3)
+        for i in range(4):
+            buf.push(make_transition(i))
+        assert len(buf) == 4 and not buf.is_full
+        buf.push(make_transition(4))
+        assert buf.is_full
+        buf.push(make_transition(5))
+        assert len(buf) == 5  # capacity caps size
+
+    def test_ring_overwrites_oldest(self):
+        buf = ReplayBuffer(capacity=3, obs_dim=4, n_actions=3)
+        for i in range(5):
+            buf.push(make_transition(i))
+        batch = buf.sample(100)
+        # rewards present must be from transitions 2, 3, 4
+        assert set(np.unique(batch.rewards)) <= {2.0, 3.0, 4.0}
+
+    def test_sample_columns_aligned(self):
+        buf = ReplayBuffer(capacity=10, obs_dim=4, n_actions=3, seed=1)
+        for i in range(10):
+            buf.push(make_transition(i))
+        batch = buf.sample(32)
+        for k in range(len(batch)):
+            i = int(batch.rewards[k])
+            assert (batch.obs[k] == i).all()
+            assert (batch.next_obs[k] == i + 1).all()
+            assert batch.actions[k] == i % 3
+            assert batch.dones[k] == (i % 5 == 0)
+            assert batch.next_actions[k] == (i + 1) % 3
+
+    def test_sample_empty_raises(self):
+        buf = ReplayBuffer(capacity=3, obs_dim=4, n_actions=3)
+        with pytest.raises(RuntimeError):
+            buf.sample(1)
+
+    def test_set_last_next_action(self):
+        buf = ReplayBuffer(capacity=3, obs_dim=4, n_actions=3)
+        buf.push(make_transition(0))
+        buf.set_last_next_action(2)
+        batch = buf.sample(10)
+        assert (batch.next_actions == 2).all()
+
+    def test_set_last_next_action_empty_raises(self):
+        buf = ReplayBuffer(capacity=3, obs_dim=4, n_actions=3)
+        with pytest.raises(RuntimeError):
+            buf.set_last_next_action(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0, obs_dim=4, n_actions=3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(1, 20),
+        pushes=st.integers(0, 60),
+        batch=st.integers(1, 50),
+    )
+    def test_size_invariant(self, capacity, pushes, batch):
+        buf = ReplayBuffer(capacity=capacity, obs_dim=2, n_actions=2)
+        for i in range(pushes):
+            buf.push(make_transition(i, obs_dim=2, n_actions=2))
+        assert len(buf) == min(capacity, pushes)
+        if pushes:
+            sampled = buf.sample(batch)
+            assert len(sampled) == min(batch, len(buf))
+
+
+class TestEpsilonSchedule:
+    def test_linear_decay_endpoints(self):
+        sched = EpsilonSchedule(1.0, 0.1, 100)
+        assert sched.value(0) == pytest.approx(1.0)
+        assert sched.value(100) == pytest.approx(0.1)
+        assert sched.value(10_000) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        sched = EpsilonSchedule(1.0, 0.0, 100)
+        assert sched.value(50) == pytest.approx(0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        start=st.floats(0.5, 1.0),
+        end=st.floats(0.0, 0.4),
+        steps=st.integers(1, 1000),
+    )
+    def test_monotone_nonincreasing(self, start, end, steps):
+        sched = EpsilonSchedule(start, end, steps)
+        values = [sched.value(s) for s in range(0, steps + 10, max(1, steps // 7))]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(end - 1e-12 <= v <= start + 1e-12 for v in values)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EpsilonSchedule(0.1, 0.5, 10)  # end > start
+        with pytest.raises(ValueError):
+            EpsilonSchedule(1.0, 0.1, 0)

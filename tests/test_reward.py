@@ -1,0 +1,94 @@
+"""Reward function Eq. (3): smoothing, theta, punishment, END."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reward import (
+    EMPTY_PUNISHMENT,
+    END_REWARD,
+    RewardConfig,
+    reward_for_output,
+)
+
+confidences = st.lists(
+    st.floats(min_value=0.5, max_value=0.99), min_size=1, max_size=70
+).map(np.asarray)
+
+
+class TestEquation3:
+    def test_empty_output_is_punished(self):
+        assert reward_for_output(np.asarray([])) == EMPTY_PUNISHMENT == -1.0
+
+    def test_end_reward_is_zero(self):
+        assert END_REWARD == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(confs=confidences)
+    def test_log_reward_formula(self, confs):
+        expected = np.log(confs.sum() + 1.0)
+        assert reward_for_output(confs) == pytest.approx(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(confs=confidences, theta=st.floats(min_value=0.1, max_value=20))
+    def test_theta_scales_inside_log(self, confs, theta):
+        expected = np.log(theta * confs.sum() + 1.0)
+        assert reward_for_output(confs, theta=theta) == pytest.approx(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(confs=confidences)
+    def test_positive_whenever_output_nonempty(self, confs):
+        assert reward_for_output(confs) > 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(confs=confidences)
+    def test_monotone_in_theta(self, confs):
+        """Higher priority -> higher reward (the §VI-E mechanism)."""
+        r1 = reward_for_output(confs, theta=1.0)
+        r5 = reward_for_output(confs, theta=5.0)
+        r10 = reward_for_output(confs, theta=10.0)
+        assert r1 < r5 < r10
+
+    def test_log_compresses_many_labels(self):
+        """§IV-A: 70 landmark labels must not drown a 1-label classifier."""
+        landmarks = np.full(70, 0.8)
+        single = np.asarray([0.9])
+        ratio_raw = landmarks.sum() / single.sum()
+        ratio_log = reward_for_output(landmarks) / reward_for_output(single)
+        assert ratio_raw > 60
+        assert ratio_log < 8
+
+    def test_smoothing_variants(self):
+        confs = np.asarray([0.6, 0.8])
+        log_r = reward_for_output(confs, smoothing="log")
+        mean_r = reward_for_output(confs, smoothing="mean")
+        raw_r = reward_for_output(confs, smoothing="identity")
+        assert log_r == pytest.approx(np.log(2.4))
+        assert mean_r == pytest.approx(0.7)
+        assert raw_r == pytest.approx(1.4)
+
+    def test_unknown_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            reward_for_output(np.asarray([0.6]), smoothing="sqrt")
+
+
+class TestRewardConfig:
+    def test_default_theta_is_one(self):
+        config = RewardConfig()
+        assert config.theta_of("any_model") == 1.0
+
+    def test_explicit_theta(self):
+        config = RewardConfig(theta={"face_det": 10.0})
+        assert config.theta_of("face_det") == 10.0
+        assert config.theta_of("other") == 1.0
+
+    def test_nonpositive_theta_rejected(self):
+        with pytest.raises(ValueError):
+            RewardConfig(theta={"m": 0.0})
+        with pytest.raises(ValueError):
+            RewardConfig(theta={"m": -2.0})
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            RewardConfig(smoothing="cubic")

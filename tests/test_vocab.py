@@ -1,0 +1,119 @@
+"""Vocabulary construction: Table I cardinalities and group coherence."""
+
+import pytest
+
+from repro.vocab import (
+    ALL_TASKS,
+    FULL_TASK_SIZES,
+    MINI_TASK_SIZES,
+    TASK_ACTION,
+    TASK_DOG,
+    TASK_FACE,
+    TASK_OBJECT,
+    TASK_PLACE,
+    TASK_POSE,
+    build_vocabulary,
+)
+
+
+class TestFullVocabulary:
+    def test_total_is_1104(self):
+        vocab = build_vocabulary("full")
+        assert vocab.total_labels == 1104
+
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    def test_task_cardinalities_match_table1(self, task):
+        vocab = build_vocabulary("full")
+        assert len(vocab.labels_for(task)) == FULL_TASK_SIZES[task]
+
+    def test_ten_tasks(self):
+        assert len(ALL_TASKS) == 10
+        assert sum(FULL_TASK_SIZES.values()) == 1104
+
+    def test_no_duplicate_labels_within_task(self):
+        vocab = build_vocabulary("full")
+        for task in ALL_TASKS:
+            labels = vocab.labels_for(task)
+            assert len(set(labels)) == len(labels), f"dupes in {task}"
+
+    def test_coco_categories_present(self):
+        vocab = build_vocabulary("full")
+        objects = vocab.labels_for(TASK_OBJECT)
+        for name in ("person", "dog", "cup", "tv_monitor", "bicycle"):
+            assert name in objects
+
+    def test_fig7_scene_labels_present(self):
+        """Labels appearing in the paper's Fig. 7 narrative exist."""
+        vocab = build_vocabulary("full")
+        places = vocab.labels_for(TASK_PLACE)
+        assert "pub" in places
+        assert "beer_hall" in places
+        actions = vocab.labels_for(TASK_ACTION)
+        assert "drinking_beer" in actions
+        dogs = vocab.labels_for(TASK_DOG)
+        assert "akita" in dogs
+
+    def test_pose_keypoints_are_coco17(self):
+        vocab = build_vocabulary("full")
+        pose = vocab.labels_for(TASK_POSE)
+        assert len(pose) == 17
+        assert "left_wrist" in pose and "right_wrist" in pose
+        assert vocab.wrist_keypoints == {"left_wrist", "right_wrist"}
+
+    def test_face_task_single_label(self):
+        vocab = build_vocabulary("full")
+        assert vocab.labels_for(TASK_FACE) == ("face",)
+
+
+class TestGroups:
+    def test_indoor_places_subset_of_places(self):
+        vocab = build_vocabulary("full")
+        places = set(vocab.labels_for(TASK_PLACE))
+        assert vocab.indoor_places <= places
+        assert "pub" in vocab.indoor_places
+        assert "mountain" not in vocab.indoor_places
+
+    def test_indoor_share_is_reasonable(self):
+        vocab = build_vocabulary("full")
+        share = len(vocab.indoor_places) / len(vocab.labels_for(TASK_PLACE))
+        assert 0.3 < share < 0.6
+
+    def test_sport_actions_subset(self):
+        vocab = build_vocabulary("full")
+        assert vocab.sport_actions <= set(vocab.labels_for(TASK_ACTION))
+        assert "playing_basketball" in vocab.sport_actions
+
+    def test_object_groups_are_disjoint_from_animals(self):
+        vocab = build_vocabulary("full")
+        assert not (vocab.animal_objects & vocab.household_objects)
+        assert not (vocab.animal_objects & vocab.vehicle_objects)
+
+    def test_all_group_members_exist(self):
+        vocab = build_vocabulary("full")
+        objects = set(vocab.labels_for(TASK_OBJECT))
+        for group in (
+            vocab.animal_objects,
+            vocab.household_objects,
+            vocab.vehicle_objects,
+            vocab.sport_objects,
+            vocab.food_objects,
+            vocab.street_objects,
+        ):
+            assert group <= objects
+
+
+class TestMiniVocabulary:
+    def test_mini_sizes(self):
+        vocab = build_vocabulary("mini")
+        assert vocab.total_labels == sum(MINI_TASK_SIZES.values())
+        for task in ALL_TASKS:
+            assert len(vocab.labels_for(task)) == MINI_TASK_SIZES[task]
+
+    def test_mini_keeps_key_labels(self):
+        vocab = build_vocabulary("mini")
+        assert "person" in vocab.labels_for(TASK_OBJECT)
+        assert "dog" in vocab.labels_for(TASK_OBJECT)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown vocabulary scale"):
+            build_vocabulary("giant")
