@@ -25,10 +25,17 @@ Quickstart::
 
 from repro.config import TrainConfig, WorldConfig, get_scale
 from repro.core.framework import AdaptiveModelScheduler, LabelingResult
+from repro.engine import (
+    BatchedBackend,
+    LabelingEngine,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from repro.labels import LabelSpace, build_label_space
 from repro.zoo import GroundTruth, ModelZoo, build_zoo
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TrainConfig",
@@ -36,6 +43,11 @@ __all__ = [
     "get_scale",
     "AdaptiveModelScheduler",
     "LabelingResult",
+    "LabelingEngine",
+    "SerialBackend",
+    "BatchedBackend",
+    "ThreadPoolBackend",
+    "make_backend",
     "LabelSpace",
     "build_label_space",
     "GroundTruth",

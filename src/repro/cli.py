@@ -26,14 +26,13 @@ import sys
 import numpy as np
 
 from repro.config import TrainConfig, WorldConfig
-from repro.data.datasets import generate_dataset, train_test_split
+from repro.data.datasets import generate_dataset
+from repro.engine import BACKEND_REGISTRY, LabelingEngine
 from repro.graph import build_relationship_graph
 from repro.labels import build_label_space
 from repro.persistence import load_ground_truth, save_ground_truth
 from repro.rl.agents import AGENT_REGISTRY, make_agent
 from repro.rl.training import train_agent
-from repro.scheduling.deadline import CostQGreedyScheduler
-from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
 from repro.scheduling.qgreedy import AgentPredictor
 from repro.zoo.builder import build_zoo
 
@@ -95,23 +94,30 @@ def cmd_schedule(args) -> int:
     _, eval_ids = _split_ids(list(truth.item_ids), args.seed)
     eval_ids = eval_ids[: args.items]
 
+    engine = LabelingEngine(
+        zoo,
+        predictor,
+        config,
+        backend=args.backend,
+        batch_size=args.batch_size,
+    )
+    items = [truth.record(item_id).item for item_id in eval_ids]
     recalls = []
-    for item_id in eval_ids:
-        if args.memory is not None:
-            trace = MemoryDeadlineScheduler(predictor).schedule(
-                truth, item_id, args.deadline, args.memory
-            )
-        else:
-            trace = CostQGreedyScheduler(predictor).schedule(
-                truth, item_id, args.deadline
-            )
-        recalls.append(trace.recall_by(args.deadline))
+    for result in engine.label_stream(
+        items,
+        deadline=args.deadline,
+        memory_budget=args.memory,
+        truth=truth,
+        release_records=False,
+    ):
+        recalls.append(result.trace.recall_by(args.deadline))
         if args.verbose:
-            models = ", ".join(e.model_name for e in trace.executions)
-            print(f"{item_id}: recall {recalls[-1]:.1%} [{models}]")
+            models = ", ".join(result.models_executed)
+            print(f"{result.item_id}: recall {recalls[-1]:.1%} [{models}]")
     print(
         f"scheduled {len(eval_ids)} items under deadline={args.deadline}s"
         + (f", memory={args.memory}MB" if args.memory is not None else "")
+        + f" [{args.backend} backend, batch {args.batch_size}]"
         + f": mean value recall {np.mean(recalls):.1%}"
     )
     return 0
@@ -185,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=0.5)
     p.add_argument("--memory", type=float, default=None)
     p.add_argument("--items", type=int, default=50)
+    p.add_argument(
+        "--backend", default="batched", choices=sorted(BACKEND_REGISTRY)
+    )
+    p.add_argument("--batch-size", type=int, default=64)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_schedule)
 

@@ -8,55 +8,32 @@ label items/streams under whatever constraints apply:
 * deadline       -> Algorithm 1,
 * deadline+memory-> Algorithm 2.
 
-The "prediction-scheduling-execution" loop is internal; callers get back a
-:class:`~repro.core.labeling.LabelingResult` with the labels, confidences,
-and the executed-model trace.
+The "prediction-scheduling-execution" loop lives in
+:mod:`repro.engine`: every labeling call delegates to a
+:class:`~repro.engine.LabelingEngine`, so single items, batches, and
+streams all go through the same backend machinery.  The default
+``batched`` backend runs one stacked Q-network forward per scheduling
+round across all in-flight items and produces traces identical to serial
+execution; pass ``backend="serial"`` or ``backend="thread"`` (or a
+constructed backend) to change the execution strategy.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.config import TrainConfig, WorldConfig
-from repro.core.output import LabelOutput
 from repro.core.reward import RewardConfig
 from repro.data.datasets import DataItem
+from repro.engine import ExecutionBackend, LabelingEngine, LabelingResult
+from repro.engine.engine import DEFAULT_BATCH_SIZE
 from repro.rl.agents import QAgent
 from repro.rl.training import TrainingResult, train_agent
-from repro.scheduling.base import ScheduleTrace, run_ordering_policy
-from repro.scheduling.deadline import CostQGreedyScheduler
-from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
-from repro.scheduling.qgreedy import AgentPredictor, QGreedyPolicy
+from repro.scheduling.qgreedy import AgentPredictor
 from repro.zoo.model import ModelZoo
 from repro.zoo.oracle import GroundTruth
 
-
-@dataclass
-class LabelingResult:
-    """What the framework returns for one labeled item."""
-
-    item_id: str
-    #: All valuable labels obtained, with confidences.
-    labels: list[LabelOutput]
-    #: The underlying execution trace (models, times, marginal values).
-    trace: ScheduleTrace
-
-    @property
-    def label_names(self) -> list[str]:
-        return [l.name for l in self.labels]
-
-    @property
-    def models_executed(self) -> list[str]:
-        return [e.model_name for e in self.trace.executions]
-
-    @property
-    def time_used(self) -> float:
-        return self.trace.makespan
-
-    @property
-    def recall(self) -> float:
-        return self.trace.recall
+__all__ = ["AdaptiveModelScheduler", "LabelingResult"]
 
 
 class AdaptiveModelScheduler:
@@ -70,6 +47,11 @@ class AdaptiveModelScheduler:
         World parameters (valuable-confidence threshold etc.).
     agent:
         A trained Q agent; when omitted, call :meth:`train` first.
+    backend:
+        Execution backend name (``"batched"``, ``"serial"``, ``"thread"``)
+        or instance used by all labeling calls.
+    batch_size:
+        Default number of in-flight items on the streaming/batch paths.
     """
 
     def __init__(
@@ -77,10 +59,14 @@ class AdaptiveModelScheduler:
         zoo: ModelZoo,
         world_config: WorldConfig | None = None,
         agent: QAgent | None = None,
+        backend: str | ExecutionBackend = "batched",
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         self.zoo = zoo
         self.world_config = world_config or WorldConfig()
         self.agent = agent
+        self.backend = backend
+        self.batch_size = batch_size
         self._training: TrainingResult | None = None
 
     # -- training -----------------------------------------------------------
@@ -123,27 +109,14 @@ class AdaptiveModelScheduler:
             )
         return AgentPredictor(self.agent, len(self.zoo))
 
-    def _truth_for(self, item: DataItem, truth: GroundTruth | None) -> GroundTruth:
-        if truth is None:
-            truth = GroundTruth(self.zoo, [item], self.world_config)
-        else:
-            truth.add_items([item])
-        return truth
-
-    def _result(self, truth: GroundTruth, trace: ScheduleTrace) -> LabelingResult:
-        state_conf: dict[int, float] = {}
-        labels: dict[int, LabelOutput] = {}
-        for execution in trace.executions:
-            output = truth.output(trace.item_id, execution.model_index)
-            for label in output.valuable(truth.threshold):
-                seen = state_conf.get(label.label_id, 0.0)
-                if label.confidence > seen:
-                    state_conf[label.label_id] = label.confidence
-                    labels[label.label_id] = label
-        return LabelingResult(
-            item_id=trace.item_id,
-            labels=sorted(labels.values(), key=lambda l: -l.confidence),
-            trace=trace,
+    def engine(self) -> LabelingEngine:
+        """The labeling engine all labeling calls delegate to."""
+        return LabelingEngine(
+            self.zoo,
+            self._predictor(),
+            self.world_config,
+            backend=self.backend,
+            batch_size=self.batch_size,
         )
 
     def label(
@@ -161,23 +134,32 @@ class AdaptiveModelScheduler:
         * neither — Q-greedy over all models (optionally capped by
           ``max_models``).
         """
-        truth = self._truth_for(item, truth)
-        predictor = self._predictor()
-        if memory_budget is not None:
-            if deadline is None:
-                raise ValueError("memory_budget requires a deadline")
-            trace = MemoryDeadlineScheduler(predictor).schedule(
-                truth, item.item_id, deadline, memory_budget
-            )
-        elif deadline is not None:
-            trace = CostQGreedyScheduler(predictor).schedule(
-                truth, item.item_id, deadline
-            )
-        else:
-            trace = run_ordering_policy(
-                QGreedyPolicy(predictor), truth, item.item_id, max_models=max_models
-            )
-        return self._result(truth, trace)
+        return self.engine().label_batch(
+            [item],
+            deadline=deadline,
+            memory_budget=memory_budget,
+            max_models=max_models,
+            truth=truth,
+        )[0]
+
+    def label_batch(
+        self,
+        items: Sequence[DataItem],
+        deadline: float | None = None,
+        memory_budget: float | None = None,
+        max_models: int | None = None,
+        truth: GroundTruth | None = None,
+        release_records: bool = False,
+    ) -> list[LabelingResult]:
+        """Label a batch of items concurrently (input-ordered results)."""
+        return self.engine().label_batch(
+            items,
+            deadline=deadline,
+            memory_budget=memory_budget,
+            max_models=max_models,
+            truth=truth,
+            release_records=release_records,
+        )
 
     def label_stream(
         self,
@@ -185,12 +167,28 @@ class AdaptiveModelScheduler:
         deadline: float | None = None,
         memory_budget: float | None = None,
         truth: GroundTruth | None = None,
-    ) -> Iterable[LabelingResult]:
-        """Label a stream of items lazily (one result per input item)."""
-        for item in items:
-            yield self.label(
-                item,
-                deadline=deadline,
-                memory_budget=memory_budget,
-                truth=truth,
-            )
+        *,
+        max_models: int | None = None,
+        batch_size: int | None = None,
+        release_records: bool = True,
+    ) -> Iterator[LabelingResult]:
+        """Label a stream lazily (one result per input item, input order).
+
+        Items are scheduled ``batch_size`` at a time through the engine:
+        the source iterator is consumed one chunk ahead, so the first
+        result arrives only after ``batch_size`` items (or stream end) —
+        pass ``batch_size=1`` to recover strict per-item latency on slow
+        live sources.  Ground-truth records the engine adds are released
+        once their results are yielded, so unbounded streams run in
+        bounded memory (``release_records=False`` keeps the cache
+        instead).
+        """
+        yield from self.engine().label_stream(
+            items,
+            deadline=deadline,
+            memory_budget=memory_budget,
+            max_models=max_models,
+            truth=truth,
+            batch_size=batch_size,
+            release_records=release_records,
+        )

@@ -13,9 +13,10 @@ from repro.data.datasets import DataItem, Dataset, train_test_split
 from repro.data.generator import WorldGenerator
 from repro.data.profiles import DATASET_PROFILES, DatasetProfile
 from repro.data.semantics import PersonContent, SceneContent
-from repro.data.streams import chunked_stream, iid_stream
+from repro.data.streams import batched, chunked_stream, iid_stream
 
 __all__ = [
+    "batched",
     "DataItem",
     "Dataset",
     "train_test_split",

@@ -12,8 +12,9 @@ items grouped into chunks whose latent content drifts around a chunk anchor.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
+from typing import TypeVar
 
 import numpy as np
 
@@ -21,6 +22,27 @@ from repro.config import WorldConfig
 from repro.data.datasets import DataItem
 from repro.data.generator import WorldGenerator
 from repro.labels import LabelSpace
+
+T = TypeVar("T")
+
+
+def batched(items: Iterable[T], batch_size: int) -> Iterator[list[T]]:
+    """Chunk any iterable into lists of at most ``batch_size`` items.
+
+    The workhorse of the labeling engine's streaming path: it never
+    materializes the full stream, so an unbounded stream can be labeled in
+    bounded memory.  The final chunk may be shorter.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    chunk: list[T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) == batch_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def iid_stream(

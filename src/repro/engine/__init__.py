@@ -1,0 +1,37 @@
+"""Batched labeling engine with pluggable execution backends.
+
+This subsystem turns the per-item prediction–scheduling–execution loop
+into a batch/stream pipeline: the :class:`LabelingEngine` records items in
+bulk, drives many items' schedules concurrently through an
+:class:`ExecutionBackend`, and releases ground-truth records once results
+are yielded.  The framework's public ``label``/``label_stream`` delegate
+here; heavy-traffic callers can use the engine directly.
+"""
+
+from repro.engine.backends import (
+    BACKEND_REGISTRY,
+    BatchedBackend,
+    ExecutionBackend,
+    LabelingJob,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+    schedule_one_item,
+)
+from repro.engine.engine import DEFAULT_BATCH_SIZE, LabelingEngine
+from repro.engine.results import LabelingResult, result_from_trace
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "BatchedBackend",
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionBackend",
+    "LabelingEngine",
+    "LabelingJob",
+    "LabelingResult",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "make_backend",
+    "result_from_trace",
+    "schedule_one_item",
+]

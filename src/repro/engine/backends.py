@@ -1,0 +1,265 @@
+"""Execution backends: how a batch of items is driven through the loop.
+
+A backend consumes one :class:`LabelingJob` (a batch of recorded items plus
+shared constraints) and returns one :class:`ScheduleTrace` per item.  All
+backends implement the same per-item semantics — the regime dispatch of the
+framework's ``label`` — and must produce traces identical to
+:class:`SerialBackend`, the single-item reference:
+
+* :class:`SerialBackend` — one item at a time, exactly the pre-engine code
+  path; the parity baseline.
+* :class:`BatchedBackend` — vectorized: all in-flight items advance in
+  lock-step rounds, with **one** stacked Q-network forward pass per round
+  across the whole batch.  Selection per item replays the serial rule
+  (``argmax`` with first-index tie-breaking), so traces stay identical
+  while network cost is amortized over the batch.  Caveat: the stacked
+  ``(B, n)`` forward and the serial ``(1, n)`` forward may differ in the
+  last ULP on some BLAS builds, so exact parity additionally assumes no
+  two candidate Q values sit within that rounding distance — vanishingly
+  rare with continuous weights, and enforced empirically by the parity
+  tests on seeded worlds.
+* :class:`ThreadPoolBackend` — per-item scheduling fanned out over a thread
+  pool, for regimes that do not vectorize (the event-driven deadline+memory
+  packing of Algorithm 2, custom predictors without a batch path).
+
+Q-network inference is stateless (``train=False`` forwards cache nothing)
+and ground-truth records are only read during scheduling, which is what
+makes the thread backend safe without locks.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.state import LabelingState
+from repro.scheduling.base import (
+    TOLERANCE,
+    ScheduleTrace,
+    execute_serially,
+    run_ordering_policy,
+)
+from repro.scheduling.deadline import CostQGreedyScheduler
+from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
+from repro.scheduling.qgreedy import QGreedyPolicy, QValuePredictor
+from repro.zoo.oracle import GroundTruth
+
+
+def validate_constraints(
+    deadline: float | None, memory_budget: float | None
+) -> None:
+    """Reject inconsistent constraint combinations.
+
+    Exposed separately from :class:`LabelingJob` so the engine can fail
+    fast *before* the (expensive) recording pass executes the zoo on a
+    batch whose constraints would be rejected anyway.
+    """
+    if memory_budget is not None and deadline is None:
+        raise ValueError("memory_budget requires a deadline")
+    if deadline is not None and deadline < 0:
+        raise ValueError("deadline must be non-negative")
+    if memory_budget is not None and memory_budget < 0:
+        raise ValueError("memory_budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class LabelingJob:
+    """One batch of already-recorded items plus their shared constraints."""
+
+    truth: GroundTruth
+    item_ids: tuple[str, ...]
+    deadline: float | None = None
+    memory_budget: float | None = None
+    max_models: int | None = None
+
+    def __post_init__(self):
+        validate_constraints(self.deadline, self.memory_budget)
+        missing = [i for i in self.item_ids if i not in self.truth]
+        if missing:
+            raise KeyError(f"items not recorded in ground truth: {missing[:3]}")
+
+
+class ExecutionBackend:
+    """Interface: drive one job's items through the scheduling loop."""
+
+    #: Registry name, set by subclasses.
+    name = "backend"
+
+    def run(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        """One trace per job item, aligned with ``job.item_ids``."""
+        raise NotImplementedError
+
+
+def schedule_one_item(
+    job: LabelingJob, predictor: QValuePredictor, item_id: str
+) -> ScheduleTrace:
+    """The per-item regime dispatch every backend must reproduce."""
+    if job.memory_budget is not None:
+        return MemoryDeadlineScheduler(predictor).schedule(
+            job.truth, item_id, job.deadline, job.memory_budget
+        )
+    if job.deadline is not None:
+        return CostQGreedyScheduler(predictor).schedule(
+            job.truth, item_id, job.deadline
+        )
+    return run_ordering_policy(
+        QGreedyPolicy(predictor), job.truth, item_id, max_models=job.max_models
+    )
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference semantics: items one at a time, one forward per step."""
+
+    name = "serial"
+
+    def run(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        return [
+            schedule_one_item(job, predictor, item_id) for item_id in job.item_ids
+        ]
+
+
+class BatchedBackend(ExecutionBackend):
+    """Vectorized lock-step rounds with one stacked forward per round.
+
+    Each round, every in-flight item executes exactly one model, so round
+    ``k`` of the batch corresponds to step ``k`` of each serial run — the
+    observations stacked for the round are the very states the serial loop
+    would have predicted on.  Items leave the batch when their serial stop
+    condition fires (budget exhausted, all models run, ``max_models`` hit).
+
+    The deadline+memory regime is event-driven (items advance on model
+    *completions*, not rounds) and falls back to per-item scheduling.
+    """
+
+    name = "batched"
+
+    def run(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        if job.memory_budget is not None:
+            return SerialBackend().run(job, predictor)
+        if job.deadline is not None:
+            return self._run_deadline(job, predictor)
+        return self._run_unconstrained(job, predictor)
+
+    @staticmethod
+    def _fresh(
+        job: LabelingJob,
+    ) -> tuple[list[LabelingState], list[ScheduleTrace], list[float]]:
+        states = [LabelingState(job.truth, iid) for iid in job.item_ids]
+        traces = [
+            ScheduleTrace(item_id=iid, total_value=job.truth.total_value(iid))
+            for iid in job.item_ids
+        ]
+        clocks = [0.0] * len(states)
+        return states, traces, clocks
+
+    def _run_unconstrained(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        truth = job.truth
+        limit = job.max_models if job.max_models is not None else len(truth.zoo)
+        states, traces, clocks = self._fresh(job)
+        active = [i for i, s in enumerate(states) if not s.all_executed]
+        rounds = 0
+        while active and rounds < limit:
+            q_batch = predictor.predict_batch([states[i] for i in active])
+            still_active = []
+            for row, i in enumerate(active):
+                state = states[i]
+                remaining = state.remaining
+                # Same selection as QGreedyPolicy.next_model.
+                index = int(remaining[np.argmax(q_batch[row][remaining])])
+                clocks[i] = execute_serially(state, traces[i], truth, index, clocks[i])
+                if not state.all_executed:
+                    still_active.append(i)
+            active = still_active
+            rounds += 1
+        return traces
+
+    def _run_deadline(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        truth = job.truth
+        times = truth.zoo.times
+        states, traces, clocks = self._fresh(job)
+        budgets = [float(job.deadline)] * len(states)
+        active = [
+            i
+            for i, s in enumerate(states)
+            if budgets[i] > 0 and not s.all_executed
+        ]
+        while active:
+            q_batch = predictor.predict_batch([states[i] for i in active])
+            still_active = []
+            for row, i in enumerate(active):
+                state = states[i]
+                remaining = state.remaining
+                # Same affordability filter and ratio rule as Algorithm 1.
+                affordable = remaining[times[remaining] <= budgets[i] + TOLERANCE]
+                if len(affordable) == 0:
+                    continue
+                q = q_batch[row]
+                ratios = q[affordable] / times[affordable]
+                best = int(affordable[np.argmax(ratios)])
+                clocks[i] = execute_serially(state, traces[i], truth, best, clocks[i])
+                budgets[i] -= float(times[best])
+                if budgets[i] > 0 and not state.all_executed:
+                    still_active.append(i)
+            active = still_active
+        return traces
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Per-item scheduling fanned out over a thread pool.
+
+    Items are independent, model outputs are pre-recorded, and inference
+    forwards are stateless, so per-item runs are pure reads over shared
+    structures — results are deterministic and input-ordered regardless of
+    thread interleaving.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+
+    def run(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        if len(job.item_ids) <= 1:
+            return SerialBackend().run(job, predictor)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(
+                pool.map(
+                    lambda item_id: schedule_one_item(job, predictor, item_id),
+                    job.item_ids,
+                )
+            )
+
+
+#: Name -> backend class, for config/CLI-driven construction.
+BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
+    cls.name: cls
+    for cls in (SerialBackend, BatchedBackend, ThreadPoolBackend)
+}
+
+
+def make_backend(backend: str | ExecutionBackend, **kwargs) -> ExecutionBackend:
+    """Resolve a backend instance from a registry name (pass-through if
+    already constructed)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        cls = BACKEND_REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKEND_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

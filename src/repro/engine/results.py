@@ -1,0 +1,62 @@
+"""The labeling result record and its construction from a trace.
+
+:class:`LabelingResult` is what every labeling entry point returns per item.
+It lives in the engine layer (the framework re-exports it for backwards
+compatibility) because result construction is the last step of the engine's
+prediction–scheduling–execution loop: read the executed models' recorded
+outputs back from the ground-truth cache and keep, per label, the
+highest-confidence emission (Eq. 1's max-confidence union).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.output import LabelOutput
+from repro.scheduling.base import ScheduleTrace
+from repro.zoo.oracle import GroundTruth
+
+
+@dataclass
+class LabelingResult:
+    """What the framework returns for one labeled item."""
+
+    item_id: str
+    #: All valuable labels obtained, with confidences.
+    labels: list[LabelOutput]
+    #: The underlying execution trace (models, times, marginal values).
+    trace: ScheduleTrace
+
+    @property
+    def label_names(self) -> list[str]:
+        return [l.name for l in self.labels]
+
+    @property
+    def models_executed(self) -> list[str]:
+        return [e.model_name for e in self.trace.executions]
+
+    @property
+    def time_used(self) -> float:
+        return self.trace.makespan
+
+    @property
+    def recall(self) -> float:
+        return self.trace.recall
+
+
+def result_from_trace(truth: GroundTruth, trace: ScheduleTrace) -> LabelingResult:
+    """Collect the valuable labels revealed along a trace into a result."""
+    state_conf: dict[int, float] = {}
+    labels: dict[int, LabelOutput] = {}
+    for execution in trace.executions:
+        output = truth.output(trace.item_id, execution.model_index)
+        for label in output.valuable(truth.threshold):
+            seen = state_conf.get(label.label_id, 0.0)
+            if label.confidence > seen:
+                state_conf[label.label_id] = label.confidence
+                labels[label.label_id] = label
+    return LabelingResult(
+        item_id=trace.item_id,
+        labels=sorted(labels.values(), key=lambda l: -l.confidence),
+        trace=trace,
+    )

@@ -90,6 +90,16 @@ class QAgent:
         """Online-network Q values for one observation."""
         return self.online.q_values(obs.astype(np.float64))
 
+    def q_values_batch(self, obs: np.ndarray) -> np.ndarray:
+        """Online-network Q values for a stacked (B, obs_dim) batch.
+
+        One forward pass over the whole batch — the vectorized engine
+        backends use this to amortize network cost across in-flight items.
+        """
+        if obs.ndim != 2:
+            raise ValueError(f"expected (B, obs_dim) batch, got shape {obs.shape}")
+        return self.online.forward(obs.astype(np.float64), train=False)
+
     def act(self, obs: np.ndarray, valid: np.ndarray, epsilon: float = 0.0) -> int:
         """Epsilon-greedy action among valid actions."""
         if epsilon > 0.0 and self._rng.random() < epsilon:

@@ -16,6 +16,12 @@ import numpy as np
 from repro.core.state import LabelingState
 from repro.zoo.oracle import GroundTruth
 
+#: Absolute tolerance for float comparisons on accumulated times/values.
+#: Finish times and cumulative values are sums of float costs, so exact
+#: boundary hits (a deadline equal to a finish time, a recall threshold met
+#: exactly at an execution) must not be lost to representation error.
+TOLERANCE = 1e-9
+
 
 @dataclass(frozen=True)
 class ScheduledExecution:
@@ -72,7 +78,7 @@ class ScheduleTrace:
         return sum(
             e.marginal_value
             for e in self.executions
-            if e.finish_time <= deadline + 1e-9
+            if e.finish_time <= deadline + TOLERANCE
         )
 
     def recall_by(self, deadline: float) -> float:
@@ -96,13 +102,42 @@ class ScheduleTrace:
         the threshold is unreachable (never happens for full traces) the
         full trace cost is returned.
         """
-        target = threshold * self.total_value - 1e-9
+        target = threshold * self.total_value - TOLERANCE
         running = 0.0
         for k, execution in enumerate(self.executions, start=1):
             running += execution.marginal_value
             if running >= target:
                 return float(k), execution.finish_time
         return float(len(self.executions)), self.makespan
+
+
+def execute_serially(
+    state: LabelingState,
+    trace: ScheduleTrace,
+    truth: GroundTruth,
+    model_index: int,
+    clock: float,
+) -> float:
+    """Execute one model at ``clock`` with serial timing; returns new clock.
+
+    Shared by the ordering-policy runner, Algorithm 1, and the engine
+    backends so all serial execution paths record byte-identical traces.
+    """
+    before = state.value
+    _, new_confs = state.execute(model_index)
+    model = truth.zoo[model_index]
+    finish = clock + model.time
+    trace.executions.append(
+        ScheduledExecution(
+            model_index=model_index,
+            model_name=model.name,
+            start_time=clock,
+            finish_time=finish,
+            marginal_value=state.value - before,
+            new_labels=len(new_confs),
+        )
+    )
+    return finish
 
 
 class OrderingPolicy:
@@ -142,19 +177,6 @@ def run_ordering_policy(
             raise RuntimeError(
                 f"policy {policy.name} selected already-executed model {index}"
             )
-        before = state.value
-        _, new_confs = state.execute(index)
-        model = truth.zoo[index]
-        start, clock = clock, clock + model.time
-        trace.executions.append(
-            ScheduledExecution(
-                model_index=index,
-                model_name=model.name,
-                start_time=start,
-                finish_time=clock,
-                marginal_value=state.value - before,
-                new_labels=len(new_confs),
-            )
-        )
+        clock = execute_serially(state, trace, truth, index, clock)
         policy.observe(state, index)
     return trace

@@ -17,34 +17,13 @@ import numpy as np
 
 from repro.core.evaluation import marginal_gain
 from repro.core.state import LabelingState
-from repro.scheduling.base import ScheduledExecution, ScheduleTrace
+from repro.scheduling.base import (
+    TOLERANCE,
+    ScheduleTrace,
+    execute_serially,
+)
 from repro.scheduling.qgreedy import QValuePredictor
 from repro.zoo.oracle import GroundTruth
-
-
-def _execute_into_trace(
-    state: LabelingState,
-    trace: ScheduleTrace,
-    truth: GroundTruth,
-    index: int,
-    clock: float,
-) -> float:
-    """Execute model ``index`` serially at ``clock``; returns new clock."""
-    before = state.value
-    _, new_confs = state.execute(index)
-    model = truth.zoo[index]
-    finish = clock + model.time
-    trace.executions.append(
-        ScheduledExecution(
-            model_index=index,
-            model_name=model.name,
-            start_time=clock,
-            finish_time=finish,
-            marginal_value=state.value - before,
-            new_labels=len(new_confs),
-        )
-    )
-    return finish
 
 
 class CostQGreedyScheduler:
@@ -68,13 +47,13 @@ class CostQGreedyScheduler:
         budget = time_budget
         while budget > 0 and not state.all_executed:
             remaining = state.remaining
-            affordable = remaining[times[remaining] <= budget + 1e-9]
+            affordable = remaining[times[remaining] <= budget + TOLERANCE]
             if len(affordable) == 0:
                 break
             q = self.predictor.predict(state)
             ratios = q[affordable] / times[affordable]
             best = int(affordable[np.argmax(ratios)])
-            clock = _execute_into_trace(state, trace, truth, best, clock)
+            clock = execute_serially(state, trace, truth, best, clock)
             budget -= float(times[best])
         return trace
 
@@ -102,7 +81,7 @@ class QGreedyDeadlineScheduler:
             remaining = state.remaining
             q = self.predictor.predict(state)
             best = int(remaining[np.argmax(q[remaining])])
-            clock = _execute_into_trace(state, trace, truth, best, clock)
+            clock = execute_serially(state, trace, truth, best, clock)
         return trace
 
 
@@ -130,7 +109,7 @@ class RandomDeadlineScheduler:
         while clock < time_budget and not state.all_executed:
             remaining = state.remaining
             best = int(remaining[self._rng.integers(len(remaining))])
-            clock = _execute_into_trace(state, trace, truth, best, clock)
+            clock = execute_serially(state, trace, truth, best, clock)
         return trace
 
 

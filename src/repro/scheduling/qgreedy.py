@@ -13,6 +13,8 @@ use an oracle predictor to isolate scheduler behaviour from agent quality.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.state import LabelingState
@@ -27,6 +29,15 @@ class QValuePredictor:
     def predict(self, state: LabelingState) -> np.ndarray:
         """Return one value per zoo model (higher = more promising)."""
         raise NotImplementedError
+
+    def predict_batch(self, states: Sequence[LabelingState]) -> np.ndarray:
+        """Values for many states at once, shape ``(len(states), n_models)``.
+
+        Default implementation loops over :meth:`predict`; predictors with a
+        vectorizable substrate (the Q network) override it with one stacked
+        forward pass.
+        """
+        return np.stack([self.predict(state) for state in states])
 
 
 class AgentPredictor(QValuePredictor):
@@ -43,6 +54,11 @@ class AgentPredictor(QValuePredictor):
     def predict(self, state: LabelingState) -> np.ndarray:
         q = self.agent.q_values(state.vector.astype(np.float64))
         return q[: self.n_models]
+
+    def predict_batch(self, states: Sequence[LabelingState]) -> np.ndarray:
+        obs = np.stack([state.vector for state in states]).astype(np.float64)
+        q = self.agent.q_values_batch(obs)
+        return q[:, : self.n_models]
 
 
 class OraclePredictor(QValuePredictor):

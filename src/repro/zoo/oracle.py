@@ -68,12 +68,19 @@ class GroundTruth:
 
     # -- construction --------------------------------------------------------
 
-    def add_items(self, items: Iterable[DataItem]) -> None:
-        """Execute-and-record the zoo on new items (idempotent per item)."""
+    def add_items(self, items: Iterable[DataItem]) -> list[str]:
+        """Execute-and-record the zoo on new items (idempotent per item).
+
+        Returns the ids of items actually recorded by this call, so callers
+        (the labeling engine in particular) can later :meth:`release` exactly
+        the records they introduced.
+        """
         n_labels = len(self.zoo.space)
+        added: list[str] = []
         for item in items:
             if item.item_id in self._records:
                 continue
+            added.append(item.item_id)
             outputs = tuple(m.execute(item) for m in self.zoo)
             ids_list: list[np.ndarray] = []
             confs_list: list[np.ndarray] = []
@@ -95,6 +102,32 @@ class GroundTruth:
                 best_confidence=best,
                 total_value=float(best.sum()),
             )
+        return added
+
+    def record_batch(self, items: Sequence[DataItem]) -> list[ItemRecord]:
+        """Record a batch of items and return their records, input-ordered.
+
+        Existing records are reused; missing ones are executed-and-recorded
+        in one pass.  This is the engine's bulk entry point: one call per
+        scheduling batch instead of one :meth:`add_items` per item.
+        """
+        self.add_items(items)
+        return [self._records[item.item_id] for item in items]
+
+    # -- eviction ---------------------------------------------------------------
+
+    def release(self, item_id: str) -> bool:
+        """Drop one item's record; returns whether it was present.
+
+        Long-running streams share one cache, and without eviction it grows
+        with every item ever labeled.  The engine releases records once an
+        item's result has been yielded (opt-out via ``release_records``).
+        """
+        return self._records.pop(item_id, None) is not None
+
+    def release_many(self, item_ids: Iterable[str]) -> int:
+        """Release several records; returns how many were present."""
+        return sum(self.release(item_id) for item_id in item_ids)
 
     # -- queries ---------------------------------------------------------------
 

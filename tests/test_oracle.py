@@ -60,6 +60,62 @@ class TestRecords:
         gt.add_items(dataset[3:6])
         assert len(gt) == 6
 
+    def test_add_items_returns_newly_recorded_ids(
+        self, zoo, dataset, world_config
+    ):
+        gt = GroundTruth(zoo, dataset[:2], world_config)
+        added = gt.add_items(dataset[:4])
+        assert added == [item.item_id for item in dataset[2:4]]
+        assert gt.add_items(dataset[:4]) == []
+
+
+class TestBatchRecording:
+    def test_record_batch_returns_input_ordered_records(
+        self, zoo, dataset, world_config
+    ):
+        gt = GroundTruth(zoo, [], world_config)
+        records = gt.record_batch(dataset[:5])
+        assert [r.item.item_id for r in records] == [
+            item.item_id for item in dataset[:5]
+        ]
+        assert len(gt) == 5
+
+    def test_record_batch_reuses_existing_records(
+        self, zoo, dataset, world_config
+    ):
+        gt = GroundTruth(zoo, dataset[:3], world_config)
+        before = gt.record(dataset[1].item_id)
+        records = gt.record_batch(dataset[:3])
+        assert records[1] is before
+
+
+class TestEviction:
+    def test_release_drops_record(self, zoo, dataset, world_config):
+        gt = GroundTruth(zoo, dataset[:3], world_config)
+        assert gt.release(dataset[0].item_id) is True
+        assert dataset[0].item_id not in gt
+        assert len(gt) == 2
+
+    def test_release_missing_is_noop(self, zoo, dataset, world_config):
+        gt = GroundTruth(zoo, dataset[:1], world_config)
+        assert gt.release("no-such-item") is False
+        assert len(gt) == 1
+
+    def test_release_many_counts_presence(self, zoo, dataset, world_config):
+        gt = GroundTruth(zoo, dataset[:4], world_config)
+        ids = [item.item_id for item in dataset[:4]]
+        assert gt.release_many(ids[:2] + ["ghost"]) == 2
+        assert len(gt) == 2
+
+    def test_released_item_can_be_rerecorded(self, zoo, dataset, world_config):
+        """Record/release/re-record round-trips to identical outputs."""
+        gt = GroundTruth(zoo, dataset[:1], world_config)
+        item_id = dataset[0].item_id
+        before = gt.output(item_id, 0)
+        gt.release(item_id)
+        gt.add_items(dataset[:1])
+        assert gt.output(item_id, 0) == before
+
 
 class TestAggregates:
     def test_useful_fraction_in_unit_interval(self, truth):

@@ -80,6 +80,43 @@ class TestCostToRecall:
         with pytest.raises(ValueError):
             recall_curve([1.0], [0.1, 0.2], 1.0, [0.5])
 
+    def test_exact_boundary_hit(self):
+        """Regression: a recall threshold met *exactly* at a finish time.
+
+        Both tolerances share :data:`repro.scheduling.base.TOLERANCE`, so
+        the execution whose cumulative value equals the target exactly is
+        counted, and the finish time ``cost_to_recall`` returns attains the
+        threshold when fed back through ``recall_by``.
+        """
+        from repro.scheduling.base import (
+            TOLERANCE,
+            ScheduledExecution,
+            ScheduleTrace,
+        )
+
+        trace = ScheduleTrace(item_id="x", total_value=1.0)
+        for idx, (finish, value) in enumerate(
+            [(0.25, 0.5), (0.75, 0.25), (1.0, 0.25)]
+        ):
+            trace.executions.append(
+                ScheduledExecution(
+                    model_index=idx,
+                    model_name=f"m{idx}",
+                    start_time=trace.makespan,
+                    finish_time=finish,
+                    marginal_value=value,
+                    new_labels=1,
+                )
+            )
+        assert TOLERANCE == 1e-9
+        # 0.5 + 0.25 hits threshold 0.75 exactly at the second execution
+        n, t = trace.cost_to_recall(0.75)
+        assert (n, t) == (2.0, 0.75)
+        # a deadline equal to that finish time must count the execution...
+        assert trace.value_by(0.75) == pytest.approx(0.75)
+        # ...so the (models, time) cost is consistent with recall_by
+        assert trace.recall_by(t) >= 0.75
+
 
 class TestOptimalPolicy:
     def test_orders_by_solo_value(self, truth, test_item_ids):
