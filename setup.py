@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Adaptive Model Scheduling: comprehensive and efficient data "
         "labeling (ICDE 2020 reproduction)"

@@ -33,9 +33,10 @@ from repro.engine import (
     make_backend,
 )
 from repro.labels import LabelSpace, build_label_space
+from repro.serving import LabelingService
 from repro.zoo import GroundTruth, ModelZoo, build_zoo
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TrainConfig",
@@ -48,6 +49,7 @@ __all__ = [
     "BatchedBackend",
     "ThreadPoolBackend",
     "make_backend",
+    "LabelingService",
     "LabelSpace",
     "build_label_space",
     "GroundTruth",

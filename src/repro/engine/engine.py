@@ -145,7 +145,28 @@ class LabelingEngine:
         that chunk are released (pass ``release_records=False`` to keep the
         cache growing instead).
         """
-        size = batch_size or self.batch_size
+        # Validate eagerly (before the first next()): a batch_size of 0 must
+        # be an error, not a silent fall-through to the engine default.
+        if batch_size is None:
+            size = self.batch_size
+        elif batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        else:
+            size = batch_size
+        return self._stream(
+            items, deadline, memory_budget, max_models, truth, size, release_records
+        )
+
+    def _stream(
+        self,
+        items: Iterable[DataItem],
+        deadline: float | None,
+        memory_budget: float | None,
+        max_models: int | None,
+        truth: GroundTruth | None,
+        size: int,
+        release_records: bool,
+    ) -> Iterator[LabelingResult]:
         shared = truth if truth is not None else self._ephemeral_truth()
         for chunk in batched(items, size):
             results, owned = self._run_batch(

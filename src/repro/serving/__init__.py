@@ -1,0 +1,57 @@
+"""Async labeling service: micro-batching, priority admission, telemetry.
+
+This subsystem is the layer between the batched
+:class:`~repro.engine.engine.LabelingEngine` and the outside world: many
+logical clients submit single items and get futures back, while a
+dispatcher coalesces requests into the large batches the engine's stacked
+Q-network forwards need — flushing on ``batch_size`` reached or
+``max_wait`` elapsed, whichever first.  Admission is priority-ordered
+with bounded-depth backpressure and deadline-based drops; everything is
+observable through telemetry snapshots.
+
+Quickstart::
+
+    engine = LabelingEngine(zoo, predictor, config)
+    with LabelingService(engine, batch_size=64, max_wait=0.01) as service:
+        futures = [service.submit(item, priority=1) for item in items]
+        results = [f.result() for f in futures]
+    print(service.snapshot().format())
+"""
+
+from repro.serving.queue import (
+    DeadlineExpired,
+    LabelingRequest,
+    QueueFull,
+    RequestQueue,
+    ServiceStopped,
+    ServingError,
+)
+from repro.serving.service import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_WAIT,
+    DEFAULT_WORKERS,
+    LabelingService,
+)
+from repro.serving.telemetry import (
+    LatencyHistogram,
+    LatencyStats,
+    ServiceTelemetry,
+    TelemetrySnapshot,
+)
+
+__all__ = [
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_WAIT",
+    "DEFAULT_WORKERS",
+    "DeadlineExpired",
+    "LabelingRequest",
+    "LabelingService",
+    "LatencyHistogram",
+    "LatencyStats",
+    "QueueFull",
+    "RequestQueue",
+    "ServiceStopped",
+    "ServiceTelemetry",
+    "ServingError",
+    "TelemetrySnapshot",
+]

@@ -1,0 +1,243 @@
+"""Priority-aware request queue: backpressure and deadline admission.
+
+The queue is the admission layer of the serving tier.  It holds
+:class:`LabelingRequest` records between ``submit()`` and dispatch, and
+enforces the three policies the dispatch loop should never have to think
+about:
+
+* **Priority ordering** — higher ``priority`` pops first; within one
+  priority class requests pop in submission order (FIFO).
+* **Backpressure** — depth is bounded by ``max_depth``.  When full, the
+  ``overflow`` policy either rejects immediately (:class:`QueueFull`) or
+  blocks the producer until space frees up (with an optional timeout).
+* **Deadline admission** — a request whose remaining deadline cannot cover
+  even the cheapest model's execution cost can never produce a label, so
+  it is dropped instead of wasting a batch slot: at ``put`` time with
+  :class:`DeadlineExpired`, or silently into the expired list at
+  ``pop_batch`` time if its budget ran out while queued.
+
+Request deadlines are wall-clock budgets in seconds from submission, the
+same currency as the zoo's per-model costs — queue wait spends the same
+budget the scheduler spends executing models, mirroring the paper's
+deadline-constrained regime end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.data.datasets import DataItem
+
+#: Slack applied to deadline comparisons so float arithmetic on budgets
+#: never drops a request that exactly affords the cheapest model.
+_DEADLINE_EPS = 1e-9
+
+#: Overflow policies: reject new requests vs. block the producer.
+OVERFLOW_POLICIES = ("block", "reject")
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class QueueFull(ServingError):
+    """The admission queue is at ``max_depth`` and the request was refused."""
+
+
+class DeadlineExpired(ServingError):
+    """The request's remaining deadline cannot cover any model execution."""
+
+
+class ServiceStopped(ServingError):
+    """The service is no longer accepting or processing requests."""
+
+
+@dataclass(eq=False)
+class LabelingRequest:
+    """One client request: an item, its admission terms, and its future."""
+
+    item: DataItem
+    #: Higher pops sooner; ties resolve in submission order.
+    priority: int = 0
+    #: Optional wall-clock budget in seconds, counted from ``submitted_at``.
+    deadline: float | None = None
+    #: Queue-clock timestamp of submission.
+    submitted_at: float = 0.0
+    #: Resolves to a :class:`~repro.engine.results.LabelingResult` or an error.
+    future: Future = field(default_factory=Future)
+
+    def remaining(self, now: float) -> float:
+        """Deadline budget left at time ``now`` (infinite when unconstrained)."""
+        if self.deadline is None:
+            return math.inf
+        return self.deadline - (now - self.submitted_at)
+
+
+class RequestQueue:
+    """Bounded, priority-ordered, deadline-checking request buffer.
+
+    Parameters
+    ----------
+    max_depth:
+        Backpressure bound: most requests buffered at once.
+    overflow:
+        ``"block"`` makes :meth:`put` wait for space (until ``timeout``);
+        ``"reject"`` raises :class:`QueueFull` immediately.
+    min_cost:
+        The cheapest model's execution cost in seconds — the admission
+        bar a request's remaining deadline must clear.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 1024,
+        overflow: str = "block",
+        min_cost: float = 0.0,
+        clock=time.monotonic,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; "
+                f"choose from {sorted(OVERFLOW_POLICIES)}"
+            )
+        if min_cost < 0:
+            raise ValueError("min_cost must be non-negative")
+        self.max_depth = max_depth
+        self.overflow = overflow
+        self.min_cost = float(min_cost)
+        self._clock = clock
+        self._heap: list[tuple[int, int, LabelingRequest]] = []
+        self._seq = 0
+        self._cond = threading.Condition()
+        self._closed = False
+        self._draining = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Requests currently buffered."""
+        with self._cond:
+            return len(self._heap)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def _admissible(self, request: LabelingRequest, now: float) -> bool:
+        return request.remaining(now) >= self.min_cost - _DEADLINE_EPS
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, request: LabelingRequest, timeout: float | None = None) -> None:
+        """Admit one request, enforcing deadline and depth policies.
+
+        Raises :class:`DeadlineExpired` when the request can never afford
+        the cheapest model, :class:`QueueFull` when depth policy refuses
+        it, and :class:`ServiceStopped` when the queue is closed.
+        """
+        with self._cond:
+            if self._closed or self._draining:
+                raise ServiceStopped("queue is not accepting new requests")
+            if not self._admissible(request, self._clock()):
+                raise DeadlineExpired(
+                    f"deadline {request.deadline}s cannot cover the cheapest "
+                    f"model cost {self.min_cost}s"
+                )
+            if len(self._heap) >= self.max_depth:
+                if self.overflow == "reject":
+                    raise QueueFull(
+                        f"queue at max depth {self.max_depth} "
+                        f"(overflow policy: reject)"
+                    )
+                if not self._cond.wait_for(
+                    lambda: len(self._heap) < self.max_depth
+                    or self._closed
+                    or self._draining,
+                    timeout,
+                ):
+                    raise QueueFull(
+                        f"queue stayed at max depth {self.max_depth} "
+                        f"for {timeout}s (overflow policy: block)"
+                    )
+                if self._closed or self._draining:
+                    raise ServiceStopped("queue closed while waiting for space")
+            heapq.heappush(self._heap, (-request.priority, self._seq, request))
+            self._seq += 1
+            self._cond.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def pop_batch(
+        self, max_items: int, max_wait: float
+    ) -> tuple[list[LabelingRequest], list[LabelingRequest], str | None]:
+        """Form one micro-batch: ``(batch, expired, reason)``.
+
+        Blocks until at least one request is available, then collects up to
+        ``max_items`` of them, waiting at most ``max_wait`` seconds from the
+        moment the batch started forming.  Requests whose deadline ran out
+        while queued land in ``expired`` instead of the batch.  ``reason``
+        is ``"size"`` (batch filled), ``"wait"`` (timer elapsed), ``"drain"``
+        (queue draining or closing flushed a partial batch), or ``None``
+        with both lists empty once the queue is closed and empty — the
+        consumer's signal to exit.
+        """
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        with self._cond:
+            while True:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if not self._heap:
+                    return [], [], None
+                batch: list[LabelingRequest] = []
+                expired: list[LabelingRequest] = []
+                flush_at = self._clock() + max_wait
+                while True:
+                    now = self._clock()
+                    while self._heap and len(batch) < max_items:
+                        _, _, request = heapq.heappop(self._heap)
+                        if self._admissible(request, now):
+                            batch.append(request)
+                        else:
+                            expired.append(request)
+                    self._cond.notify_all()
+                    if len(batch) >= max_items:
+                        return batch, expired, "size"
+                    if self._closed or self._draining:
+                        return batch, expired, "drain"
+                    remaining = flush_at - self._clock()
+                    if remaining <= 0:
+                        return batch, expired, "wait"
+                    self._cond.wait(remaining)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start_drain(self) -> None:
+        """Refuse new requests and flush forming batches immediately."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def close(self) -> list[LabelingRequest]:
+        """Close the queue and return the requests left undispatched.
+
+        Wakes every blocked producer (:class:`ServiceStopped`) and consumer
+        (final drain flushes, then the ``None``-reason exit signal).
+        """
+        with self._cond:
+            self._closed = True
+            leftovers = [request for _, _, request in sorted(self._heap)]
+            self._heap.clear()
+            self._cond.notify_all()
+            return leftovers

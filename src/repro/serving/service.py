@@ -1,0 +1,368 @@
+"""The labeling service: dynamic micro-batching over engine workers.
+
+:class:`LabelingService` is the layer between many independent clients and
+one :class:`~repro.engine.engine.LabelingEngine`.  Clients :meth:`submit`
+single items and get back futures; a dispatcher thread coalesces queued
+requests into micro-batches — flushing when ``batch_size`` is reached or
+``max_wait`` has elapsed since the batch started forming, whichever comes
+first — and hands each batch to a pool of worker threads that run the
+engine's batched scheduling path.  That turns per-item request traffic
+into the large stacked-forward batches the engine needs for throughput,
+while ``max_wait`` caps how long any request waits for batch-mates.
+
+Admission (priority ordering, backpressure, deadline drops) lives in
+:class:`~repro.serving.queue.RequestQueue`; observability lives in
+:class:`~repro.serving.telemetry.ServiceTelemetry`.  Worker threads share
+the engine safely: scheduling is pure reads over recorded outputs and
+stateless network forwards (see ``repro.engine.backends``).  Each batch
+labels against either its own ephemeral ground-truth cache or a shared
+one; with a shared cache the service serializes recording and refcounts
+in-flight item ids, so concurrent batches never record the same item
+twice or evict a record another batch is still scheduling against, and
+service-recorded entries are released once their last batch finishes —
+a long-lived service runs in bounded memory.
+
+Lifecycle: ``start()`` launches the dispatcher and workers; ``drain()``
+stops admission and waits until every admitted request has resolved;
+``shutdown()`` additionally stops the threads, failing any still-queued
+requests with :class:`ServiceStopped`.  ``with service:`` does
+start/drain/shutdown automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.data.datasets import DataItem
+from repro.engine.backends import validate_constraints
+from repro.engine.engine import LabelingEngine
+from repro.serving.queue import (
+    DeadlineExpired,
+    LabelingRequest,
+    QueueFull,
+    RequestQueue,
+    ServiceStopped,
+)
+from repro.serving.telemetry import ServiceTelemetry, TelemetrySnapshot
+from repro.zoo.oracle import GroundTruth
+
+#: Default flush timer: how long a request waits for batch-mates at most.
+DEFAULT_MAX_WAIT = 0.02
+#: Default number of engine worker threads.
+DEFAULT_WORKERS = 2
+#: Default admission-queue depth bound.
+DEFAULT_MAX_DEPTH = 1024
+
+
+class LabelingService:
+    """Micro-batching front end over a shared :class:`LabelingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine every worker dispatches batches through.
+    batch_size:
+        Flush a forming batch as soon as it holds this many requests.
+    max_wait:
+        Flush a forming batch at most this many seconds after it started
+        forming, even if underfull.
+    workers:
+        Engine worker threads; batches from the dispatcher run here.
+    max_depth / overflow:
+        Admission-queue backpressure bound and full-queue policy
+        (``"block"`` or ``"reject"``), see :class:`RequestQueue`.
+    deadline / memory_budget / max_models:
+        Scheduling constraints applied to every dispatched batch (the
+        paper's per-item regimes; shared service-wide so batches stay
+        homogeneous).  Distinct from per-request *admission* deadlines,
+        which bound queue wait and are passed to :meth:`submit`.
+    truth:
+        Optional shared ground-truth cache.  Items already recorded there
+        are scheduled against the existing records; records the engine
+        adds are released after each batch.  Without it every batch uses
+        an ephemeral cache.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        engine: LabelingEngine,
+        *,
+        batch_size: int = 32,
+        max_wait: float = DEFAULT_MAX_WAIT,
+        workers: int = DEFAULT_WORKERS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        overflow: str = "block",
+        deadline: float | None = None,
+        memory_budget: float | None = None,
+        max_models: int | None = None,
+        truth: GroundTruth | None = None,
+        clock=time.monotonic,
+        telemetry: ServiceTelemetry | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        validate_constraints(deadline, memory_budget)
+        self.engine = engine
+        self.batch_size = batch_size
+        self.max_wait = max_wait
+        self.workers = workers
+        self.deadline = deadline
+        self.memory_budget = memory_budget
+        self.max_models = max_models
+        self.truth = truth
+        self._clock = clock
+        min_cost = float(engine.zoo.times.min()) if len(engine.zoo) else 0.0
+        self.queue = RequestQueue(
+            max_depth=max_depth, overflow=overflow, min_cost=min_cost, clock=clock
+        )
+        self.telemetry = telemetry or ServiceTelemetry(clock=clock)
+        self._state = threading.Condition()
+        self._accepting = True
+        self._started = False
+        self._stopped = False
+        #: Requests admitted but not yet resolved (completed/failed/expired).
+        self._pending = 0
+        #: Requests currently inside worker batches.
+        self._in_flight = 0
+        self._dispatcher: threading.Thread | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        # Shared-truth bookkeeping: recording is serialized, and records
+        # stay alive while any in-flight batch references them.
+        self._truth_lock = threading.Lock()
+        #: item_id -> number of in-flight batches containing it.
+        self._live: dict[str, int] = {}
+        #: Ids the service recorded itself (callers' records are never evicted).
+        self._service_owned: set[str] = set()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(
+        self,
+        item: DataItem,
+        priority: int = 0,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue one item; returns a future resolving to its result.
+
+        ``priority`` orders dispatch (higher first, FIFO within a class);
+        ``deadline`` is this request's wall-clock budget in seconds —
+        requests that can no longer afford the cheapest model are dropped
+        (:class:`DeadlineExpired` here at admission, or set on the future
+        if the budget runs out while queued).  A full queue raises
+        :class:`QueueFull` under the ``reject`` policy, or blocks up to
+        ``timeout`` under ``block``.
+        """
+        with self._state:
+            if not self._accepting:
+                raise ServiceStopped("service is not accepting new requests")
+            # Count the request pending *before* it becomes poppable, so a
+            # concurrent drain never observes a dispatched-but-uncounted
+            # request (or a transiently negative pending count).
+            self._pending += 1
+        request = LabelingRequest(
+            item=item,
+            priority=priority,
+            deadline=deadline,
+            submitted_at=self._clock(),
+        )
+        try:
+            self.queue.put(request, timeout=timeout)
+        except BaseException as exc:
+            with self._state:
+                self._pending -= 1
+                self._state.notify_all()
+            if isinstance(exc, DeadlineExpired):
+                self.telemetry.count("expired")
+            elif isinstance(exc, QueueFull):
+                self.telemetry.count("rejected")
+            raise
+        self.telemetry.count("submitted")
+        return request.future
+
+    def submit_many(
+        self,
+        items: Iterable[DataItem],
+        priority: int = 0,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> list[Future]:
+        """:meth:`submit` each item; one future per item, input-ordered."""
+        return [
+            self.submit(item, priority=priority, deadline=deadline, timeout=timeout)
+            for item in items
+        ]
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Telemetry snapshot including live queue depth and in-flight count."""
+        with self._state:
+            in_flight = self._in_flight
+        return self.telemetry.snapshot(
+            queue_depth=self.queue.depth, in_flight=in_flight
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "LabelingService":
+        """Launch the dispatcher and the worker pool (idempotent)."""
+        with self._state:
+            if self._stopped:
+                raise ServiceStopped("cannot start a shut-down service")
+            if self._started:
+                return self
+            self._started = True
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="labeling-worker"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="labeling-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admission and wait until every admitted request resolves.
+
+        Forming batches flush immediately instead of waiting out
+        ``max_wait``.  Returns ``True`` once nothing is pending (always
+        immediate on a never-started service with an empty queue);
+        ``False`` if ``timeout`` elapsed first.
+        """
+        with self._state:
+            self._accepting = False
+        self.queue.start_drain()
+        with self._state:
+            if not self._started:
+                return self._pending == 0
+            return self._state.wait_for(lambda: self._pending == 0, timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the service; still-queued requests fail with ServiceStopped.
+
+        With ``wait=True`` (default) in-flight batches finish and resolve
+        their futures first.  After shutdown no future is left pending:
+        every admitted request has a result or an exception.
+        """
+        with self._state:
+            if self._stopped:
+                return
+            self._accepting = False
+            self._stopped = True
+        leftovers = self.queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+        for request in leftovers:
+            self.telemetry.count("cancelled")
+            self._resolve(request, error=ServiceStopped("service shut down"))
+
+    def __enter__(self) -> "LabelingService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+        self.shutdown()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _resolve(self, request: LabelingRequest, result=None, error=None) -> None:
+        """Settle one request's future and its pending accounting."""
+        if error is not None:
+            request.future.set_exception(error)
+        else:
+            request.future.set_result(result)
+        with self._state:
+            self._pending -= 1
+            self._state.notify_all()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch, expired, reason = self.queue.pop_batch(
+                self.batch_size, self.max_wait
+            )
+            now = self._clock()
+            for request in expired:
+                self.telemetry.count("expired")
+                self._resolve(
+                    request,
+                    error=DeadlineExpired(
+                        f"deadline {request.deadline}s expired after "
+                        f"{now - request.submitted_at:.3f}s in queue"
+                    ),
+                )
+            if reason is None:
+                return
+            if not batch:
+                continue
+            for request in batch:
+                self.telemetry.observe_queue_wait(now - request.submitted_at)
+            self.telemetry.observe_flush(len(batch), reason)
+            with self._state:
+                self._in_flight += len(batch)
+            self._pool.submit(self._process_batch, batch)
+
+    def _label_batch(self, items: list[DataItem]):
+        """One engine dispatch; isolated so tests can observe batch makeup."""
+        if self.truth is None:
+            return self.engine.label_batch(
+                items,
+                deadline=self.deadline,
+                memory_budget=self.memory_budget,
+                max_models=self.max_models,
+            )
+        # Shared cache: record under the lock (GroundTruth is a plain dict
+        # with no synchronization of its own) and pin this batch's records
+        # so a concurrent batch's release cannot evict them mid-schedule.
+        with self._truth_lock:
+            for item in items:
+                if item.item_id not in self.truth:
+                    self._service_owned.add(item.item_id)
+            self.truth.record_batch(items)
+            for item in items:
+                self._live[item.item_id] = self._live.get(item.item_id, 0) + 1
+        try:
+            return self.engine.label_batch(
+                items,
+                deadline=self.deadline,
+                memory_budget=self.memory_budget,
+                max_models=self.max_models,
+                truth=self.truth,
+            )
+        finally:
+            with self._truth_lock:
+                for item in items:
+                    self._live[item.item_id] -= 1
+                    if self._live[item.item_id] == 0:
+                        del self._live[item.item_id]
+                        if item.item_id in self._service_owned:
+                            self._service_owned.discard(item.item_id)
+                            self.truth.release(item.item_id)
+
+    def _process_batch(self, batch: list[LabelingRequest]) -> None:
+        started = self._clock()
+        try:
+            results = self._label_batch([request.item for request in batch])
+        except BaseException as exc:  # propagate to every caller, keep serving
+            self.telemetry.count("failed", len(batch))
+            for request in batch:
+                self._resolve(request, error=exc)
+        else:
+            elapsed = self._clock() - started
+            self.telemetry.count("completed", len(batch))
+            for request, result in zip(batch, results):
+                self.telemetry.observe_service_time(elapsed)
+                self._resolve(request, result=result)
+        finally:
+            with self._state:
+                self._in_flight -= len(batch)
+                self._state.notify_all()

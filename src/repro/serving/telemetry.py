@@ -1,0 +1,215 @@
+"""Service telemetry: counters, latency histograms, and point-in-time snapshots.
+
+The serving tier is judged by numbers — how long requests queued, how fast
+batches ran, how many requests were turned away — so the service records
+everything into one :class:`ServiceTelemetry` and exposes an immutable
+:meth:`~ServiceTelemetry.snapshot` that tests assert on and the ``serve``
+CLI / benchmarks print.
+
+Latency populations are summarized by :class:`LatencyStats` (p50/p95/p99,
+mean, max) over a bounded :class:`LatencyHistogram` reservoir, so an
+unbounded stream of observations runs in bounded memory while the
+percentiles stay representative.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Counter names every snapshot carries (all start at zero).
+COUNTERS = ("submitted", "completed", "rejected", "expired", "failed", "cancelled")
+
+#: Flush triggers the dispatch loop distinguishes.
+FLUSH_REASONS = ("size", "wait", "drain")
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over one latency population (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples, count: int | None = None) -> "LatencyStats":
+        """Summarize ``samples``; ``count`` overrides the population size
+        when the samples are a reservoir of a larger stream."""
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return LatencyStats(
+            count=int(arr.size) if count is None else int(count),
+            mean=float(arr.mean()),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
+            max=float(arr.max()),
+        )
+
+    def format(self) -> str:
+        if self.count == 0:
+            return "no samples"
+        return (
+            f"p50 {self.p50 * 1000:7.2f}ms  p95 {self.p95 * 1000:7.2f}ms  "
+            f"p99 {self.p99 * 1000:7.2f}ms  max {self.max * 1000:7.2f}ms  "
+            f"(n={self.count})"
+        )
+
+
+class LatencyHistogram:
+    """Bounded reservoir of latency samples with percentile summaries.
+
+    Classic reservoir sampling: the first ``capacity`` observations are kept
+    verbatim; afterwards each new observation replaces a uniformly random
+    slot with probability ``capacity / count``.  ``count`` always reflects
+    the full population.  The RNG is seeded so summaries are reproducible
+    for a fixed observation sequence.
+    """
+
+    def __init__(self, capacity: int = 100_000, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.count = 0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(float(value))
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = float(value)
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self._samples, count=self.count)
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One immutable view of the service's health, safe to hold and compare."""
+
+    #: Wall-clock seconds since telemetry started (or was last reset).
+    elapsed: float
+    #: Request counters: submitted/completed/rejected/expired/failed/cancelled.
+    counters: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in COUNTERS}
+    )
+    #: Batches dispatched, by flush trigger: size/wait/drain.
+    flushes: dict[str, int] = field(
+        default_factory=lambda: {reason: 0 for reason in FLUSH_REASONS}
+    )
+    #: Total items dispatched across all batches.
+    batched_items: int = 0
+    #: Requests waiting in the admission queue right now.
+    queue_depth: int = 0
+    #: Requests inside worker batches right now.
+    in_flight: int = 0
+    queue_wait: LatencyStats = LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    service_time: LatencyStats = LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @property
+    def batches(self) -> int:
+        return sum(self.flushes.values())
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_items / self.batches if self.batches else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed items per wall-clock second since start/reset."""
+        return self.counters["completed"] / self.elapsed if self.elapsed > 0 else 0.0
+
+    def format(self) -> str:
+        """Multi-line human-readable report (the ``serve`` CLI's output)."""
+        c = self.counters
+        lines = [
+            f"serving telemetry ({self.elapsed:.2f}s)",
+            (
+                f"  requests    submitted {c['submitted']}  completed {c['completed']}  "
+                f"rejected {c['rejected']}  expired {c['expired']}  "
+                f"failed {c['failed']}  cancelled {c['cancelled']}"
+            ),
+            (
+                f"  batches     {self.batches} dispatched "
+                f"(size {self.flushes['size']} / wait {self.flushes['wait']} / "
+                f"drain {self.flushes['drain']}), mean size {self.mean_batch_size:.1f}"
+            ),
+            f"  throughput  {self.throughput:.1f} items/sec",
+            f"  queue wait  {self.queue_wait.format()}",
+            f"  service     {self.service_time.format()}",
+            f"  now         queue depth {self.queue_depth}, in flight {self.in_flight}",
+        ]
+        return "\n".join(lines)
+
+
+class ServiceTelemetry:
+    """Thread-safe accumulator behind the service's observability surface.
+
+    All mutation goes through :meth:`count`, :meth:`observe_queue_wait`,
+    :meth:`observe_service_time`, and :meth:`observe_flush`; reads go
+    through :meth:`snapshot`.  One lock guards everything — observation
+    cost is nanoseconds next to a model execution.
+    """
+
+    def __init__(self, clock=time.monotonic, histogram_capacity: int = 100_000):
+        self._clock = clock
+        self._capacity = histogram_capacity
+        self._lock = threading.Lock()
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._started_at = self._clock()
+        self._counters = {name: 0 for name in COUNTERS}
+        self._flushes = {reason: 0 for reason in FLUSH_REASONS}
+        self._batched_items = 0
+        self._queue_wait = LatencyHistogram(self._capacity, seed=1)
+        self._service_time = LatencyHistogram(self._capacity, seed=2)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram; restarts the elapsed clock."""
+        with self._lock:
+            self._reset_locked()
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        with self._lock:
+            self._queue_wait.observe(seconds)
+
+    def observe_service_time(self, seconds: float) -> None:
+        with self._lock:
+            self._service_time.observe(seconds)
+
+    def observe_flush(self, size: int, reason: str) -> None:
+        with self._lock:
+            self._flushes[reason] += 1
+            self._batched_items += size
+
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> TelemetrySnapshot:
+        with self._lock:
+            return TelemetrySnapshot(
+                elapsed=self._clock() - self._started_at,
+                counters=dict(self._counters),
+                flushes=dict(self._flushes),
+                batched_items=self._batched_items,
+                queue_depth=queue_depth,
+                in_flight=in_flight,
+                queue_wait=self._queue_wait.stats(),
+                service_time=self._service_time.stats(),
+            )

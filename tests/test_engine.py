@@ -181,6 +181,16 @@ class TestEngineApi:
         with pytest.raises(ValueError, match="batch_size"):
             LabelingEngine(zoo, predictor, world_config, batch_size=0)
 
+    def test_stream_invalid_batch_size_override(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        # batch_size=0 must be an error, not a silent fall-through to the
+        # engine default
+        engine = engine_for(zoo, predictor, world_config, "batched")
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="batch_size"):
+                engine.label_stream(items, truth=truth, batch_size=bad)
+
     def test_framework_delegates_to_engine(
         self, zoo, world_config, trained, truth, items
     ):

@@ -1,0 +1,390 @@
+"""The serving tier: micro-batch flushes, admission, lifecycle, telemetry."""
+
+import time
+
+import pytest
+
+from repro.engine import LabelingEngine
+from repro.rl.agents import make_agent
+from repro.zoo.oracle import GroundTruth
+from repro.scheduling.qgreedy import AgentPredictor
+from repro.serving import (
+    DeadlineExpired,
+    LabelingRequest,
+    LabelingService,
+    LatencyHistogram,
+    QueueFull,
+    RequestQueue,
+    ServiceStopped,
+    ServiceTelemetry,
+)
+
+
+@pytest.fixture(scope="module")
+def predictor(zoo, space):
+    # Serving semantics do not depend on agent quality; an untrained
+    # network keeps this module independent of the slow trained fixture.
+    agent = make_agent(
+        "dueling_dqn", obs_dim=len(space), n_actions=len(zoo) + 1, hidden_size=32
+    )
+    return AgentPredictor(agent, len(zoo))
+
+
+@pytest.fixture(scope="module")
+def engine(zoo, predictor, world_config):
+    return LabelingEngine(zoo, predictor, world_config)
+
+
+@pytest.fixture(scope="module")
+def items(splits):
+    _, test = splits
+    return test.items[:24]
+
+
+@pytest.fixture(scope="module")
+def min_cost(zoo):
+    return float(zoo.times.min())
+
+
+def service_for(engine, truth, **kwargs):
+    kwargs.setdefault("deadline", 0.35)
+    return LabelingService(engine, truth=truth, **kwargs)
+
+
+def request_for(item, **kwargs):
+    return LabelingRequest(item=item, **kwargs)
+
+
+class TestMicroBatchFlush:
+    def test_size_triggered_flush(self, engine, truth, items):
+        # Requests queued before start() + a long flush timer: every flush
+        # must be size-triggered, in exactly ceil(8/4) batches.
+        service = service_for(engine, truth, batch_size=4, max_wait=5.0)
+        futures = service.submit_many(items[:8])
+        with service:
+            results = [f.result(timeout=10) for f in futures]
+        assert [r.item_id for r in results] == [i.item_id for i in items[:8]]
+        snapshot = service.snapshot()
+        assert snapshot.counters["submitted"] == 8
+        assert snapshot.counters["completed"] == 8
+        assert snapshot.flushes == {"size": 2, "wait": 0, "drain": 0}
+        assert snapshot.batched_items == 8
+        assert snapshot.mean_batch_size == 4.0
+
+    def test_wait_triggered_flush(self, engine, truth, items):
+        # An underfull batch must flush once max_wait elapses, not hang
+        # until batch_size arrives.
+        service = service_for(engine, truth, batch_size=64, max_wait=0.03)
+        with service:
+            futures = service.submit_many(items[:3])
+            results = [f.result(timeout=10) for f in futures]
+        assert len(results) == 3
+        snapshot = service.snapshot()
+        assert snapshot.counters["completed"] == 3
+        assert snapshot.flushes["size"] == 0
+        assert snapshot.flushes["wait"] + snapshot.flushes["drain"] >= 1
+
+    def test_results_match_direct_engine_dispatch(self, engine, truth, items):
+        # The serving layer adds queueing, not semantics: futures must
+        # resolve to traces identical to a direct engine call.
+        service = service_for(engine, truth, batch_size=8, max_wait=0.01)
+        with service:
+            futures = service.submit_many(items)
+            served = [f.result(timeout=10) for f in futures]
+        direct = engine.label_batch(items, deadline=0.35, truth=truth)
+        for got, ref in zip(served, direct):
+            assert got.item_id == ref.item_id
+            assert got.trace.executions == ref.trace.executions
+            assert got.label_names == ref.label_names
+
+    def test_service_validation(self, engine, truth):
+        with pytest.raises(ValueError, match="batch_size"):
+            LabelingService(engine, batch_size=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            LabelingService(engine, max_wait=-0.1)
+        with pytest.raises(ValueError, match="workers"):
+            LabelingService(engine, workers=0)
+        with pytest.raises(ValueError, match="requires a deadline"):
+            LabelingService(engine, memory_budget=1000.0)
+
+
+class TestSharedTruthLifecycle:
+    def test_unrecorded_items_run_in_bounded_memory(
+        self, engine, zoo, world_config, items
+    ):
+        # Empty shared cache + duplicate submissions across batches on
+        # several workers: the refcounted record/release path must neither
+        # double-record nor evict a record a concurrent batch still needs,
+        # and must leave the cache empty afterwards.
+        shared = GroundTruth(zoo, [], world_config)
+        service = LabelingService(
+            engine, truth=shared, batch_size=3, max_wait=0.005,
+            workers=3, deadline=0.35,
+        )
+        with service:
+            futures = service.submit_many(items[:12]) + service.submit_many(
+                items[:12]
+            )
+            results = [f.result(timeout=10) for f in futures]
+        assert [r.item_id for r in results] == [
+            i.item_id for i in items[:12]
+        ] * 2
+        assert service.snapshot().counters["failed"] == 0
+        assert len(shared) == 0
+
+    def test_caller_recorded_items_are_never_evicted(
+        self, engine, zoo, world_config, items
+    ):
+        shared = GroundTruth(zoo, items[:2], world_config)
+        service = service_for(engine, shared, batch_size=4, workers=2)
+        with service:
+            futures = service.submit_many(items[:6])
+            [f.result(timeout=10) for f in futures]
+        assert set(shared.item_ids) == {item.item_id for item in items[:2]}
+
+
+class TestPriorityAdmission:
+    def test_queue_pops_by_priority_then_fifo(self, items):
+        queue = RequestQueue(max_depth=16)
+        for i, item in enumerate(items[:9]):
+            queue.put(request_for(item, priority=i % 3))
+        popped = []
+        for _ in range(3):
+            batch, expired, reason = queue.pop_batch(3, 0.0)
+            assert expired == [] and reason in ("size", "wait")
+            popped.append([r.item.item_id for r in batch])
+        # priority classes 2, 1, 0 — submission order within each class
+        assert popped == [
+            [items[i].item_id for i in (2, 5, 8)],
+            [items[i].item_id for i in (1, 4, 7)],
+            [items[i].item_id for i in (0, 3, 6)],
+        ]
+
+    def test_service_dispatches_priority_classes_in_order(
+        self, engine, truth, items
+    ):
+        # One worker serializes batches, so the dispatch log shows the
+        # queue's ordering under pre-start contention.
+        service = service_for(engine, truth, batch_size=4, max_wait=5.0, workers=1)
+        dispatched = []
+        inner = service._label_batch
+        service._label_batch = lambda batch: (
+            dispatched.append([i.item_id for i in batch]),
+            inner(batch),
+        )[1]
+        futures = [
+            service.submit(item, priority=i % 2)
+            for i, item in enumerate(items[:8])
+        ]
+        with service:
+            for future in futures:
+                future.result(timeout=10)
+        assert dispatched == [
+            [items[i].item_id for i in (1, 3, 5, 7)],  # priority 1 first
+            [items[i].item_id for i in (0, 2, 4, 6)],  # then priority 0
+        ]
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_and_counts(self, engine, truth, items):
+        service = service_for(
+            engine, truth, batch_size=2, max_depth=2, overflow="reject"
+        )
+        service.submit(items[0])
+        service.submit(items[1])
+        with pytest.raises(QueueFull):
+            service.submit(items[2])
+        snapshot = service.snapshot()
+        assert snapshot.counters["rejected"] == 1
+        assert snapshot.counters["submitted"] == 2
+        assert snapshot.queue_depth == 2
+        with service:
+            pass  # drain + shutdown: the two admitted items still complete
+        assert service.snapshot().counters["completed"] == 2
+
+    def test_block_policy_times_out(self, items):
+        queue = RequestQueue(max_depth=1, overflow="block")
+        queue.put(request_for(items[0]))
+        start = time.monotonic()
+        with pytest.raises(QueueFull, match="stayed at max depth"):
+            queue.put(request_for(items[1]), timeout=0.05)
+        assert time.monotonic() - start >= 0.04
+
+    def test_block_policy_admits_when_space_frees(self, engine, truth, items):
+        # A producer blocked on a full queue must unblock once the
+        # dispatcher drains it, without errors.
+        service = service_for(
+            engine, truth, batch_size=2, max_wait=0.005, max_depth=2
+        )
+        with service:
+            futures = [
+                service.submit(item, timeout=5.0) for item in items[:10]
+            ]
+            results = [f.result(timeout=10) for f in futures]
+        assert len(results) == 10
+        assert service.snapshot().counters["completed"] == 10
+
+
+class TestDeadlineAdmission:
+    def test_impossible_deadline_rejected_at_submit(
+        self, engine, truth, items, min_cost
+    ):
+        service = service_for(engine, truth)
+        with pytest.raises(DeadlineExpired, match="cheapest"):
+            service.submit(items[0], deadline=min_cost / 2)
+        snapshot = service.snapshot()
+        assert snapshot.counters["expired"] == 1
+        assert snapshot.counters["submitted"] == 0
+        assert snapshot.queue_depth == 0
+
+    def test_deadline_expiring_in_queue_drops_request(
+        self, engine, truth, items, min_cost
+    ):
+        # Admissible at submit, but the budget runs out while queued: the
+        # future fails with DeadlineExpired instead of wasting a slot.
+        service = service_for(engine, truth, batch_size=4)
+        doomed = service.submit(items[0], deadline=min_cost + 0.02)
+        alive = service.submit(items[1])
+        time.sleep(0.15)
+        with service:
+            assert alive.result(timeout=10).item_id == items[1].item_id
+            with pytest.raises(DeadlineExpired, match="expired after"):
+                doomed.result(timeout=10)
+        snapshot = service.snapshot()
+        assert snapshot.counters["expired"] == 1
+        assert snapshot.counters["completed"] == 1
+
+    def test_unconstrained_requests_never_expire(self, items):
+        queue = RequestQueue(min_cost=1.0)
+        request = request_for(items[0])  # no deadline
+        queue.put(request)
+        batch, expired, _ = queue.pop_batch(4, 0.0)
+        assert batch == [request] and expired == []
+
+
+class TestLifecycle:
+    def test_drain_resolves_everything(self, engine, truth, items):
+        service = service_for(engine, truth, batch_size=4, max_wait=5.0)
+        futures = service.submit_many(items[:10])
+        service.start()
+        assert service.drain(timeout=10)
+        # drain flushed the underfull tail immediately (no 5 s wait) and
+        # left nothing pending
+        assert all(f.done() for f in futures)
+        assert service.queue.depth == 0
+        with pytest.raises(ServiceStopped):
+            service.submit(items[0])
+        service.shutdown()
+
+    def test_shutdown_fails_undispatched_requests(self, engine, truth, items):
+        service = service_for(engine, truth)
+        futures = service.submit_many(items[:5])
+        service.shutdown()  # never started: nothing was dispatched
+        for future in futures:
+            assert future.done()
+            with pytest.raises(ServiceStopped):
+                future.result()
+        snapshot = service.snapshot()
+        assert snapshot.counters["cancelled"] == 5
+        assert snapshot.queue_depth == 0
+
+    def test_context_manager_drains_on_exit(self, engine, truth, items):
+        with service_for(engine, truth, batch_size=4) as service:
+            futures = service.submit_many(items[:6])
+        assert all(f.done() for f in futures)
+        assert service.snapshot().counters["completed"] == 6
+
+    def test_start_after_shutdown_refused(self, engine, truth):
+        service = service_for(engine, truth)
+        service.shutdown()
+        with pytest.raises(ServiceStopped):
+            service.start()
+
+    def test_worker_failure_propagates_to_futures(self, engine, truth, items):
+        service = service_for(engine, truth, batch_size=4, max_wait=5.0)
+        boom = RuntimeError("backend exploded")
+
+        def failing(batch):
+            raise boom
+
+        service._label_batch = failing
+        futures = service.submit_many(items[:4])
+        with service:
+            for future in futures:
+                with pytest.raises(RuntimeError, match="backend exploded"):
+                    future.result(timeout=10)
+        assert service.snapshot().counters["failed"] == 4
+
+
+class TestTelemetry:
+    def test_snapshot_numbers_are_consistent(self, engine, truth, items):
+        service = service_for(engine, truth, batch_size=4, max_wait=0.01)
+        with service:
+            futures = service.submit_many(items[:12])
+            [f.result(timeout=10) for f in futures]
+        snapshot = service.snapshot()
+        assert snapshot.counters["submitted"] == 12
+        assert snapshot.counters["completed"] == 12
+        assert snapshot.batches == sum(snapshot.flushes.values())
+        assert snapshot.batched_items == 12
+        assert snapshot.throughput > 0
+        assert snapshot.elapsed > 0
+        wait = snapshot.queue_wait
+        assert wait.count == 12
+        assert 0 <= wait.p50 <= wait.p95 <= wait.p99 <= wait.max
+        service_time = snapshot.service_time
+        assert service_time.count == 12
+        assert service_time.p99 > 0
+        assert "items/sec" in snapshot.format()
+
+    def test_reset_zeroes_counters(self):
+        telemetry = ServiceTelemetry()
+        telemetry.count("completed", 3)
+        telemetry.observe_flush(3, "size")
+        telemetry.reset()
+        snapshot = telemetry.snapshot()
+        assert snapshot.counters["completed"] == 0
+        assert snapshot.batches == 0
+        assert snapshot.queue_wait.count == 0
+
+    def test_histogram_reservoir_bounds_memory(self):
+        histogram = LatencyHistogram(capacity=100, seed=3)
+        for i in range(10_000):
+            histogram.observe(i / 10_000)
+        stats = histogram.stats()
+        assert histogram.count == 10_000
+        assert len(histogram._samples) == 100
+        # reservoir percentiles track the uniform population
+        assert 0.3 < stats.p50 < 0.7
+        assert stats.p99 > 0.8
+
+    def test_empty_stats(self):
+        stats = LatencyHistogram().stats()
+        assert stats.count == 0
+        assert stats.format() == "no samples"
+
+
+class TestQueueValidation:
+    def test_constructor_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            RequestQueue(max_depth=0)
+        with pytest.raises(ValueError, match="overflow"):
+            RequestQueue(overflow="drop-newest")
+        with pytest.raises(ValueError, match="min_cost"):
+            RequestQueue(min_cost=-1.0)
+
+    def test_pop_batch_rejects_bad_parameters(self):
+        queue = RequestQueue()
+        with pytest.raises(ValueError, match="max_items"):
+            queue.pop_batch(0, 0.1)
+        with pytest.raises(ValueError, match="max_wait"):
+            queue.pop_batch(1, -0.1)
+
+    def test_closed_queue_refuses_put_and_signals_pop(self, items):
+        queue = RequestQueue()
+        queue.put(request_for(items[0]))
+        leftovers = queue.close()
+        assert [r.item.item_id for r in leftovers] == [items[0].item_id]
+        with pytest.raises(ServiceStopped):
+            queue.put(request_for(items[1]))
+        assert queue.pop_batch(4, 0.0) == ([], [], None)
