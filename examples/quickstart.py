@@ -9,7 +9,7 @@ finishes in well under a minute on a laptop.  Swap ``vocab_scale`` to
 ``"full"`` for the paper's 30-model / 1104-label setup.
 """
 
-from repro import AdaptiveModelScheduler, WorldConfig, build_zoo
+from repro import AdaptiveModelScheduler, LabelingSpec, WorldConfig, build_zoo
 from repro.config import TrainConfig
 from repro.data.datasets import generate_dataset, train_test_split
 from repro.labels import build_label_space
@@ -41,8 +41,11 @@ def main() -> None:
           f"({result.total_steps} env steps)\n")
 
     # 4. Label a few test items under a 0.3 s deadline (Algorithm 1).
+    # Constraints travel as one LabelingSpec; the legacy
+    # `deadline=0.3` kwarg form still works and builds the same spec.
+    spec = LabelingSpec(deadline=0.3)
     for item in test[:5]:
-        labeled = scheduler.label(item, deadline=0.3, truth=truth)
+        labeled = scheduler.label(item, spec, truth=truth)
         labels = ", ".join(str(l) for l in labeled.labels[:5]) or "<none>"
         print(f"{labeled.item_id}: {len(labeled.models_executed)} models in "
               f"{labeled.time_used * 1000:.0f}ms -> {labels}")
@@ -58,7 +61,7 @@ def main() -> None:
     # 6. Throughput path: label a whole batch at once.  The default
     # "batched" backend runs one stacked Q-network forward per scheduling
     # round across all in-flight items — same traces, far fewer forwards.
-    batch = scheduler.label_batch(test.items[:64], deadline=0.3, truth=truth)
+    batch = scheduler.label_batch(test.items[:64], spec, truth=truth)
     mean_recall = sum(r.trace.recall_by(0.3) for r in batch) / len(batch)
     print(f"\nbatch of {len(batch)} items via the batched backend: "
           f"mean recall by deadline {mean_recall:.0%}")

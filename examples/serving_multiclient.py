@@ -1,22 +1,28 @@
-"""Serving: many concurrent clients sharing one micro-batching service.
+"""Serving: mixed-regime clients sharing one micro-batching service.
 
 Run with::
 
     python examples/serving_multiclient.py
 
-Three logical clients with different service terms hit one
+Three logical clients with different *scheduling regimes* — each carried
+by its own :class:`~repro.spec.LabelingSpec` — hit one
 :class:`~repro.serving.LabelingService` at the same time:
 
-* a **surveillance** client — high priority, tight per-request admission
+* a **surveillance** client — Algorithm 1 under a tight per-item
+  scheduling deadline, high priority, plus tight per-request *admission*
   deadlines (stale frames are worthless, so late requests are dropped);
-* an **interactive** client — medium priority, generous deadlines;
-* an **analytics** backfill — low priority, no deadlines, happy to wait.
+* an **interactive** client — Algorithm 2 under deadline + GPU-memory
+  budgets, medium priority;
+* an **analytics** backfill — unconstrained Q-greedy (every label
+  matters, time doesn't), low priority, happy to wait.
 
 The service coalesces all three request streams into engine-sized
-micro-batches (flush on ``batch_size`` or ``max_wait``, whichever first),
-admits them in priority order, and reports what happened through its
-telemetry snapshot.  This uses the mini world so the whole script finishes
-in seconds.
+micro-batches, but the queue groups dispatch by each spec's ``batch_key``
+— every batch the engine sees is *homogeneous*, so each client is
+scheduled under exactly its own constraints while sharing one queue, one
+worker pool, and one telemetry report (note the per-regime counters and
+``regime_split`` flushes).  This uses the mini world so the whole script
+finishes in seconds.
 """
 
 import threading
@@ -29,6 +35,7 @@ from repro.labels import build_label_space
 from repro.rl.agents import make_agent
 from repro.scheduling.qgreedy import AgentPredictor
 from repro.serving import DeadlineExpired, LabelingService
+from repro.spec import LabelingSpec
 from repro.zoo.builder import build_zoo
 from repro.zoo.oracle import GroundTruth
 
@@ -45,22 +52,21 @@ def main() -> None:
                        hidden_size=32)
     engine = LabelingEngine(zoo, AgentPredictor(agent, len(zoo)), config)
 
-    # 2. One service, shared by every client: 16-item micro-batches, a
-    # 10 ms flush timer, two engine workers, 0.25 s scheduling deadline.
-    service = LabelingService(
-        engine, batch_size=16, max_wait=0.01, workers=2,
-        deadline=0.25, truth=truth,
-    )
+    # 2. One service shared by every regime: 16-item micro-batches, a
+    # 10 ms flush timer, two engine workers.  No service-wide constraints —
+    # each request brings its own spec.
+    service = LabelingService(engine, batch_size=16, max_wait=0.01, workers=2,
+                              truth=truth)
 
     items = list(dataset)
     stats = {}
 
-    def client(name: str, slice_, priority: int, request_deadline, gap: float):
+    def client(name, slice_, spec, request_deadline, gap):
         completed = dropped = 0
         futures = []
         for item in slice_:
             try:
-                futures.append(service.submit(item, priority=priority,
+                futures.append(service.submit(item, spec,
                                               deadline=request_deadline))
             except DeadlineExpired:
                 dropped += 1
@@ -73,13 +79,25 @@ def main() -> None:
                 dropped += 1
         stats[name] = (completed, dropped)
 
-    # 3. Three clients, three service terms, one shared queue.
+    # 3. Three clients, three regimes, one shared queue.  The spec carries
+    # scheduling constraints *and* the dispatch priority.
     clients = [
         threading.Thread(target=client, name=name, args=args)
         for name, args in {
-            "surveillance": ("surveillance", items[0::3], 2, 0.15, 0.002),
-            "interactive": ("interactive", items[1::3], 1, 2.0, 0.003),
-            "analytics": ("analytics", items[2::3], 0, None, 0.0),
+            "surveillance": (
+                "surveillance", items[0::3],
+                LabelingSpec(deadline=0.25, priority=2), 0.15, 0.002,
+            ),
+            "interactive": (
+                "interactive", items[1::3],
+                LabelingSpec(deadline=0.4, memory_budget=6000.0, priority=1),
+                2.0, 0.003,
+            ),
+            "analytics": (
+                "analytics", items[2::3],
+                LabelingSpec(),  # unconstrained Q-greedy, priority 0
+                None, 0.0,
+            ),
         }.items()
     ]
     with service:
@@ -89,7 +107,8 @@ def main() -> None:
             thread.join()
         service.drain()
 
-    # 4. Per-client outcomes + the service-wide telemetry report.
+    # 4. Per-client outcomes + the service-wide telemetry report (the
+    # "regimes" line shows all three regimes flowing through one service).
     for name, (completed, dropped) in stats.items():
         print(f"{name:13s} completed {completed:3d}  deadline-dropped {dropped:3d}")
     print()

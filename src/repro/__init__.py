@@ -25,6 +25,7 @@ Quickstart::
 
 from repro.config import TrainConfig, WorldConfig, get_scale
 from repro.core.framework import AdaptiveModelScheduler, LabelingResult
+from repro.spec import LabelingSpec
 from repro.engine import (
     BatchedBackend,
     LabelingEngine,
@@ -36,7 +37,7 @@ from repro.labels import LabelSpace, build_label_space
 from repro.serving import LabelingService
 from repro.zoo import GroundTruth, ModelZoo, build_zoo
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "TrainConfig",
@@ -44,6 +45,7 @@ __all__ = [
     "get_scale",
     "AdaptiveModelScheduler",
     "LabelingResult",
+    "LabelingSpec",
     "LabelingEngine",
     "SerialBackend",
     "BatchedBackend",

@@ -37,6 +37,7 @@ from repro.persistence import load_ground_truth, save_ground_truth
 from repro.rl.agents import AGENT_REGISTRY, make_agent
 from repro.rl.training import train_agent
 from repro.scheduling.qgreedy import AgentPredictor
+from repro.spec import LabelingSpec
 from repro.zoo.builder import build_zoo
 
 
@@ -104,12 +105,13 @@ def cmd_schedule(args) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
     )
+    # The CLI flags build one LabelingSpec; everything downstream shares it.
+    spec = LabelingSpec(deadline=args.deadline, memory_budget=args.memory)
     items = [truth.record(item_id).item for item_id in eval_ids]
     recalls = []
     for result in engine.label_stream(
         items,
-        deadline=args.deadline,
-        memory_budget=args.memory,
+        spec,
         truth=truth,
         release_records=False,
     ):
@@ -176,6 +178,22 @@ def cmd_serve(args) -> int:
         agent.load(args.agent)
     predictor = AgentPredictor(agent, len(zoo))
     engine = LabelingEngine(zoo, predictor, config, backend=args.backend)
+    if args.mixed_regimes:
+        # Three client populations, three scheduling regimes, one service:
+        # the dispatcher groups them into homogeneous batches by batch_key.
+        deadline = args.deadline if args.deadline is not None else 0.5
+        memory = args.memory if args.memory is not None else 8000.0
+        client_specs = [
+            LabelingSpec(),
+            LabelingSpec(deadline=deadline),
+            LabelingSpec(deadline=deadline, memory_budget=memory),
+        ]
+        service_spec = LabelingSpec()
+    else:
+        client_specs = None
+        service_spec = LabelingSpec(
+            deadline=args.deadline, memory_budget=args.memory
+        )
     service = LabelingService(
         engine,
         batch_size=args.batch_size,
@@ -183,8 +201,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         max_depth=args.max_depth,
         overflow=args.overflow,
-        deadline=args.deadline,
-        memory_budget=args.memory,
+        spec=service_spec,
         truth=truth,
     )
 
@@ -195,11 +212,16 @@ def cmd_serve(args) -> int:
         # requests/sec with seeded jitter, mimicking independent callers.
         rng = np.random.default_rng(args.seed + index)
         gap = args.clients / args.rate if args.rate > 0 else 0.0
+        base = (
+            client_specs[index % len(client_specs)]
+            if client_specs is not None
+            else service.default_spec
+        )
         for item in items[index :: args.clients]:
             try:
                 service.submit(
                     item,
-                    priority=int(rng.integers(3)),
+                    base.with_(priority=int(rng.integers(3))),
                     deadline=args.request_deadline,
                 )
             except (QueueFull, DeadlineExpired):
@@ -216,9 +238,14 @@ def cmd_serve(args) -> int:
         for thread in threads:
             thread.join()
         service.drain()
+    regimes = (
+        "mixed regimes (qgreedy + deadline + deadline_memory)"
+        if args.mixed_regimes
+        else f"regime {service_spec.regime}"
+    )
     print(
         f"served {args.items} generated items from {args.clients} clients "
-        f"at ~{args.rate:.0f} req/s "
+        f"at ~{args.rate:.0f} req/s, {regimes} "
         f"[batch {args.batch_size}, max_wait {args.max_wait * 1000:.0f}ms, "
         f"{args.workers} workers, {args.backend} backend]"
     )
@@ -262,7 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algo", default="dueling_dqn", choices=sorted(AGENT_REGISTRY))
     p.add_argument("--hidden", type=int, default=256)
     p.add_argument("--deadline", type=float, default=0.5)
-    p.add_argument("--memory", type=float, default=None)
+    p.add_argument(
+        "--memory-budget",
+        "--memory",
+        dest="memory",
+        type=float,
+        default=None,
+        help="GPU-memory budget in MB (Algorithm 2; requires --deadline)",
+    )
     p.add_argument("--items", type=int, default=50)
     p.add_argument(
         "--backend", default="batched", choices=sorted(BACKEND_REGISTRY)
@@ -299,7 +333,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--deadline", type=float, default=None, help="scheduling deadline per item"
     )
-    p.add_argument("--memory", type=float, default=None)
+    p.add_argument(
+        "--memory-budget",
+        "--memory",
+        dest="memory",
+        type=float,
+        default=None,
+        help="GPU-memory budget in MB (Algorithm 2; requires --deadline)",
+    )
+    p.add_argument(
+        "--mixed-regimes",
+        action="store_true",
+        help="split clients across qgreedy / deadline / deadline+memory "
+        "specs to exercise homogeneous-batch grouping",
+    )
     p.add_argument(
         "--request-deadline",
         type=float,

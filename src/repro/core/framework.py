@@ -8,6 +8,11 @@ label items/streams under whatever constraints apply:
 * deadline       -> Algorithm 1,
 * deadline+memory-> Algorithm 2.
 
+Constraints travel as one :class:`~repro.spec.LabelingSpec` — pass
+``spec=LabelingSpec(deadline=0.5)`` to any labeling call, or keep using
+the legacy ``deadline=/memory_budget=/max_models=`` kwargs, which are
+normalized into a spec (passing both raises).
+
 The "prediction-scheduling-execution" loop lives in
 :mod:`repro.engine`: every labeling call delegates to a
 :class:`~repro.engine.LabelingEngine`, so single items, batches, and
@@ -30,10 +35,11 @@ from repro.engine.engine import DEFAULT_BATCH_SIZE
 from repro.rl.agents import QAgent
 from repro.rl.training import TrainingResult, train_agent
 from repro.scheduling.qgreedy import AgentPredictor
+from repro.spec import LabelingSpec
 from repro.zoo.model import ModelZoo
 from repro.zoo.oracle import GroundTruth
 
-__all__ = ["AdaptiveModelScheduler", "LabelingResult"]
+__all__ = ["AdaptiveModelScheduler", "LabelingResult", "LabelingSpec"]
 
 
 class AdaptiveModelScheduler:
@@ -122,29 +128,41 @@ class AdaptiveModelScheduler:
     def label(
         self,
         item: DataItem,
+        spec: LabelingSpec | None = None,
+        *,
         deadline: float | None = None,
         memory_budget: float | None = None,
         max_models: int | None = None,
         truth: GroundTruth | None = None,
     ) -> LabelingResult:
-        """Label one item under the given constraints.
+        """Label one item under one :class:`LabelingSpec`.
+
+        The spec's regime picks the algorithm:
 
         * ``deadline`` only — Algorithm 1 (serial).
         * ``deadline`` + ``memory_budget`` — Algorithm 2 (parallel).
         * neither — Q-greedy over all models (optionally capped by
           ``max_models``).
+
+        The legacy kwargs build the spec when ``spec`` is omitted;
+        passing both raises.
         """
         return self.engine().label_batch(
             [item],
-            deadline=deadline,
-            memory_budget=memory_budget,
-            max_models=max_models,
+            LabelingSpec.resolve(
+                spec,
+                deadline=deadline,
+                memory_budget=memory_budget,
+                max_models=max_models,
+            ),
             truth=truth,
         )[0]
 
     def label_batch(
         self,
         items: Sequence[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
         deadline: float | None = None,
         memory_budget: float | None = None,
         max_models: int | None = None,
@@ -154,9 +172,12 @@ class AdaptiveModelScheduler:
         """Label a batch of items concurrently (input-ordered results)."""
         return self.engine().label_batch(
             items,
-            deadline=deadline,
-            memory_budget=memory_budget,
-            max_models=max_models,
+            LabelingSpec.resolve(
+                spec,
+                deadline=deadline,
+                memory_budget=memory_budget,
+                max_models=max_models,
+            ),
             truth=truth,
             release_records=release_records,
         )
@@ -164,11 +185,12 @@ class AdaptiveModelScheduler:
     def label_stream(
         self,
         items: Iterable[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
         deadline: float | None = None,
         memory_budget: float | None = None,
-        truth: GroundTruth | None = None,
-        *,
         max_models: int | None = None,
+        truth: GroundTruth | None = None,
         batch_size: int | None = None,
         release_records: bool = True,
     ) -> Iterator[LabelingResult]:
@@ -181,13 +203,17 @@ class AdaptiveModelScheduler:
         live sources.  Ground-truth records the engine adds are released
         once their results are yielded, so unbounded streams run in
         bounded memory (``release_records=False`` keeps the cache
-        instead).
+        instead).  Spec/kwargs conflicts and invalid constraints raise at
+        call time, before the first item is consumed.
         """
-        yield from self.engine().label_stream(
+        return self.engine().label_stream(
             items,
-            deadline=deadline,
-            memory_budget=memory_budget,
-            max_models=max_models,
+            LabelingSpec.resolve(
+                spec,
+                deadline=deadline,
+                memory_budget=memory_budget,
+                max_models=max_models,
+            ),
             truth=truth,
             batch_size=batch_size,
             release_records=release_records,

@@ -20,6 +20,7 @@ from repro.engine.backends import (
 )
 from repro.engine.engine import DEFAULT_BATCH_SIZE, LabelingEngine
 from repro.engine.results import LabelingResult, result_from_trace
+from repro.spec import LabelingSpec
 
 __all__ = [
     "BACKEND_REGISTRY",
@@ -29,6 +30,7 @@ __all__ = [
     "LabelingEngine",
     "LabelingJob",
     "LabelingResult",
+    "LabelingSpec",
     "SerialBackend",
     "ThreadPoolBackend",
     "make_backend",

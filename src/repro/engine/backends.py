@@ -1,10 +1,10 @@
 """Execution backends: how a batch of items is driven through the loop.
 
 A backend consumes one :class:`LabelingJob` (a batch of recorded items plus
-shared constraints) and returns one :class:`ScheduleTrace` per item.  All
-backends implement the same per-item semantics — the regime dispatch of the
-framework's ``label`` — and must produce traces identical to
-:class:`SerialBackend`, the single-item reference:
+their resolved :class:`~repro.spec.LabelingSpec`) and returns one
+:class:`ScheduleTrace` per item.  All backends implement the same per-item
+semantics — dispatch on :attr:`LabelingSpec.regime` — and must produce
+traces identical to :class:`SerialBackend`, the single-item reference:
 
 * :class:`SerialBackend` — one item at a time, exactly the pre-engine code
   path; the parity baseline.
@@ -44,41 +44,40 @@ from repro.scheduling.base import (
 from repro.scheduling.deadline import CostQGreedyScheduler
 from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
 from repro.scheduling.qgreedy import QGreedyPolicy, QValuePredictor
+from repro.spec import LabelingSpec, validate_constraints  # noqa: F401 — re-export
 from repro.zoo.oracle import GroundTruth
-
-
-def validate_constraints(
-    deadline: float | None, memory_budget: float | None
-) -> None:
-    """Reject inconsistent constraint combinations.
-
-    Exposed separately from :class:`LabelingJob` so the engine can fail
-    fast *before* the (expensive) recording pass executes the zoo on a
-    batch whose constraints would be rejected anyway.
-    """
-    if memory_budget is not None and deadline is None:
-        raise ValueError("memory_budget requires a deadline")
-    if deadline is not None and deadline < 0:
-        raise ValueError("deadline must be non-negative")
-    if memory_budget is not None and memory_budget < 0:
-        raise ValueError("memory_budget must be non-negative")
 
 
 @dataclass(frozen=True)
 class LabelingJob:
-    """One batch of already-recorded items plus their shared constraints."""
+    """One batch of already-recorded items plus their resolved spec."""
 
     truth: GroundTruth
     item_ids: tuple[str, ...]
-    deadline: float | None = None
-    memory_budget: float | None = None
-    max_models: int | None = None
+    spec: LabelingSpec = LabelingSpec()
 
     def __post_init__(self):
-        validate_constraints(self.deadline, self.memory_budget)
+        if not isinstance(self.spec, LabelingSpec):
+            raise TypeError(
+                f"spec must be a LabelingSpec, got {type(self.spec).__name__}"
+            )
         missing = [i for i in self.item_ids if i not in self.truth]
         if missing:
             raise KeyError(f"items not recorded in ground truth: {missing[:3]}")
+
+    # Convenience views so backends read constraints without spelling
+    # ``job.spec.`` everywhere.
+    @property
+    def deadline(self) -> float | None:
+        return self.spec.deadline
+
+    @property
+    def memory_budget(self) -> float | None:
+        return self.spec.memory_budget
+
+    @property
+    def max_models(self) -> int | None:
+        return self.spec.max_models
 
 
 class ExecutionBackend:
@@ -98,16 +97,18 @@ def schedule_one_item(
     job: LabelingJob, predictor: QValuePredictor, item_id: str
 ) -> ScheduleTrace:
     """The per-item regime dispatch every backend must reproduce."""
-    if job.memory_budget is not None:
+    spec = job.spec
+    regime = spec.regime
+    if regime == "deadline_memory":
         return MemoryDeadlineScheduler(predictor).schedule(
-            job.truth, item_id, job.deadline, job.memory_budget
+            job.truth, item_id, spec.deadline, spec.memory_budget
         )
-    if job.deadline is not None:
+    if regime == "deadline":
         return CostQGreedyScheduler(predictor).schedule(
-            job.truth, item_id, job.deadline
+            job.truth, item_id, spec.deadline
         )
     return run_ordering_policy(
-        QGreedyPolicy(predictor), job.truth, item_id, max_models=job.max_models
+        QGreedyPolicy(predictor), job.truth, item_id, max_models=spec.max_models
     )
 
 
@@ -142,9 +143,10 @@ class BatchedBackend(ExecutionBackend):
     def run(
         self, job: LabelingJob, predictor: QValuePredictor
     ) -> list[ScheduleTrace]:
-        if job.memory_budget is not None:
+        regime = job.spec.regime
+        if regime == "deadline_memory":
             return SerialBackend().run(job, predictor)
-        if job.deadline is not None:
+        if regime == "deadline":
             return self._run_deadline(job, predictor)
         return self._run_unconstrained(job, predictor)
 

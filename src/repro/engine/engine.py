@@ -9,6 +9,11 @@ assembles :class:`LabelingResult` records, and — on the streaming path —
 releases the records it created once their results have been yielded, so
 labeling an unbounded stream runs in bounded memory.
 
+Scheduling constraints arrive as one :class:`~repro.spec.LabelingSpec`
+(``spec=``) or as the legacy ``deadline=/memory_budget=/max_models=``
+kwargs; both forms funnel through :meth:`LabelingSpec.resolve`, so the
+legacy form keeps working unchanged while passing both raises eagerly.
+
 Eviction never touches records that pre-existed in a caller-supplied
 cache: the engine only releases what it recorded itself, and callers can
 opt out entirely with ``release_records=False``.
@@ -25,10 +30,10 @@ from repro.engine.backends import (
     ExecutionBackend,
     LabelingJob,
     make_backend,
-    validate_constraints,
 )
 from repro.engine.results import LabelingResult, result_from_trace
 from repro.scheduling.qgreedy import QValuePredictor
+from repro.spec import LabelingSpec
 from repro.zoo.model import ModelZoo
 from repro.zoo.oracle import GroundTruth
 
@@ -79,21 +84,15 @@ class LabelingEngine:
         self,
         truth: GroundTruth,
         items: Sequence[DataItem],
-        deadline: float | None,
-        memory_budget: float | None,
-        max_models: int | None,
+        spec: LabelingSpec,
     ) -> tuple[list[LabelingResult], list[str]]:
         """Record + schedule + assemble one batch; returns (results, owned)."""
-        # Fail fast on inconsistent constraints before paying for recording.
-        validate_constraints(deadline, memory_budget)
         owned = [item.item_id for item in items if item.item_id not in truth]
         truth.record_batch(items)
         job = LabelingJob(
             truth=truth,
             item_ids=tuple(item.item_id for item in items),
-            deadline=deadline,
-            memory_budget=memory_budget,
-            max_models=max_models,
+            spec=spec,
         )
         traces = self.backend.run(job, self.predictor)
         return [result_from_trace(truth, trace) for trace in traces], owned
@@ -103,24 +102,31 @@ class LabelingEngine:
     def label_batch(
         self,
         items: Sequence[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
         deadline: float | None = None,
         memory_budget: float | None = None,
         max_models: int | None = None,
         truth: GroundTruth | None = None,
         release_records: bool = False,
     ) -> list[LabelingResult]:
-        """Label one batch of items under shared constraints.
+        """Label one batch of items under one shared spec.
 
         Results are input-ordered.  With ``release_records=True`` the
         records this call added to ``truth`` are evicted before returning
         (records that were already present are always kept).
         """
+        # Resolve (and thereby validate) before paying for recording.
+        resolved = LabelingSpec.resolve(
+            spec,
+            deadline=deadline,
+            memory_budget=memory_budget,
+            max_models=max_models,
+        )
         items = list(items)
         if truth is None:
             truth = self._ephemeral_truth()
-        results, owned = self._run_batch(
-            truth, items, deadline, memory_budget, max_models
-        )
+        results, owned = self._run_batch(truth, items, resolved)
         if release_records:
             truth.release_many(owned)
         return results
@@ -128,6 +134,8 @@ class LabelingEngine:
     def label_stream(
         self,
         items: Iterable[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
         deadline: float | None = None,
         memory_budget: float | None = None,
         max_models: int | None = None,
@@ -145,33 +153,34 @@ class LabelingEngine:
         that chunk are released (pass ``release_records=False`` to keep the
         cache growing instead).
         """
-        # Validate eagerly (before the first next()): a batch_size of 0 must
-        # be an error, not a silent fall-through to the engine default.
+        # Resolve and validate eagerly (before the first next()): a bad
+        # spec or a batch_size of 0 must be an error at call time, not a
+        # silent fall-through once iteration starts.
+        resolved = LabelingSpec.resolve(
+            spec,
+            deadline=deadline,
+            memory_budget=memory_budget,
+            max_models=max_models,
+        )
         if batch_size is None:
             size = self.batch_size
         elif batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         else:
             size = batch_size
-        return self._stream(
-            items, deadline, memory_budget, max_models, truth, size, release_records
-        )
+        return self._stream(items, resolved, truth, size, release_records)
 
     def _stream(
         self,
         items: Iterable[DataItem],
-        deadline: float | None,
-        memory_budget: float | None,
-        max_models: int | None,
+        spec: LabelingSpec,
         truth: GroundTruth | None,
         size: int,
         release_records: bool,
     ) -> Iterator[LabelingResult]:
         shared = truth if truth is not None else self._ephemeral_truth()
         for chunk in batched(items, size):
-            results, owned = self._run_batch(
-                shared, chunk, deadline, memory_budget, max_models
-            )
+            results, owned = self._run_batch(shared, chunk, spec)
             yield from results
             if release_records:
                 shared.release_many(owned)

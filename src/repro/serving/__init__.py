@@ -9,16 +9,26 @@ Q-network forwards need — flushing on ``batch_size`` reached or
 with bounded-depth backpressure and deadline-based drops; everything is
 observable through telemetry snapshots.
 
+Every request carries a :class:`~repro.spec.LabelingSpec` (or inherits
+the service default), and dispatch groups requests by
+:attr:`LabelingSpec.batch_key` so each micro-batch is homogeneous — one
+service hosts unconstrained, deadline, and deadline+memory traffic at
+once.
+
 Quickstart::
 
     engine = LabelingEngine(zoo, predictor, config)
     with LabelingService(engine, batch_size=64, max_wait=0.01) as service:
-        futures = [service.submit(item, priority=1) for item in items]
+        futures = [
+            service.submit(item, LabelingSpec(deadline=0.5, priority=1))
+            for item in items
+        ]
         results = [f.result() for f in futures]
     print(service.snapshot().format())
 """
 
 from repro.serving.queue import (
+    BulkAdmission,
     DeadlineExpired,
     LabelingRequest,
     QueueFull,
@@ -26,6 +36,7 @@ from repro.serving.queue import (
     ServiceStopped,
     ServingError,
 )
+from repro.spec import LabelingSpec
 from repro.serving.service import (
     DEFAULT_MAX_DEPTH,
     DEFAULT_MAX_WAIT,
@@ -40,12 +51,14 @@ from repro.serving.telemetry import (
 )
 
 __all__ = [
+    "BulkAdmission",
     "DEFAULT_MAX_DEPTH",
     "DEFAULT_MAX_WAIT",
     "DEFAULT_WORKERS",
     "DeadlineExpired",
     "LabelingRequest",
     "LabelingService",
+    "LabelingSpec",
     "LatencyHistogram",
     "LatencyStats",
     "QueueFull",

@@ -1,9 +1,8 @@
-"""Priority-aware request queue: backpressure and deadline admission.
+"""Priority-aware request queue: backpressure, deadlines, regime grouping.
 
 The queue is the admission layer of the serving tier.  It holds
 :class:`LabelingRequest` records between ``submit()`` and dispatch, and
-enforces the three policies the dispatch loop should never have to think
-about:
+enforces the policies the dispatch loop should never have to think about:
 
 * **Priority ordering** — higher ``priority`` pops first; within one
   priority class requests pop in submission order (FIFO).
@@ -15,6 +14,14 @@ about:
   it is dropped instead of wasting a batch slot: at ``put`` time with
   :class:`DeadlineExpired`, or silently into the expired list at
   ``pop_batch`` time if its budget ran out while queued.
+* **Homogeneous grouping** — every batch :meth:`pop_batch` forms contains
+  only requests sharing one :attr:`~repro.spec.LabelingSpec.batch_key`
+  (same regime / deadline class / memory budget).  The first admissible
+  request (in priority order) anchors the key; same-key requests join from
+  anywhere in the queue, different-key requests stay queued for the next
+  pop.  Batch formation per key keeps the usual size/``max_wait`` bounds —
+  a flush whose timer expired while other-key traffic waited is reported
+  as ``"regime_split"`` so operators can see grouping at work.
 
 Request deadlines are wall-clock budgets in seconds from submission, the
 same currency as the zoo's per-model costs — queue wait spends the same
@@ -32,6 +39,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.data.datasets import DataItem
+from repro.spec import LabelingSpec
 
 #: Slack applied to deadline comparisons so float arithmetic on budgets
 #: never drops a request that exactly affords the cheapest model.
@@ -68,6 +76,9 @@ class LabelingRequest:
     deadline: float | None = None
     #: Queue-clock timestamp of submission.
     submitted_at: float = 0.0
+    #: Scheduling constraints this request labels under (``None`` groups
+    #: with other spec-less requests; the service always attaches one).
+    spec: LabelingSpec | None = None
     #: Resolves to a :class:`~repro.engine.results.LabelingResult` or an error.
     future: Future = field(default_factory=Future)
 
@@ -77,9 +88,28 @@ class LabelingRequest:
             return math.inf
         return self.deadline - (now - self.submitted_at)
 
+    @property
+    def batch_key(self):
+        """Grouping key: requests may share a batch iff their keys match."""
+        return self.spec.batch_key if self.spec is not None else None
+
+
+@dataclass(frozen=True)
+class BulkAdmission:
+    """Outcome of :meth:`RequestQueue.put_many`, partitioned by fate."""
+
+    #: Requests enqueued and awaiting dispatch.
+    admitted: tuple[LabelingRequest, ...]
+    #: Requests whose deadline cannot cover the cheapest model.
+    expired: tuple[LabelingRequest, ...]
+    #: Requests refused by the depth bound (reject policy or block timeout).
+    rejected: tuple[LabelingRequest, ...]
+    #: Requests refused because the queue closed or started draining mid-call.
+    stopped: tuple[LabelingRequest, ...]
+
 
 class RequestQueue:
-    """Bounded, priority-ordered, deadline-checking request buffer.
+    """Bounded, priority-ordered, deadline-checking, grouping request buffer.
 
     Parameters
     ----------
@@ -137,6 +167,65 @@ class RequestQueue:
 
     # -- producer side -------------------------------------------------------
 
+    def _admit_locked(
+        self, request: LabelingRequest, deadline_at: float | None
+    ) -> str:
+        """Admit one request under ``self._cond``; returns its fate.
+
+        The single admission sequence :meth:`put` and :meth:`put_many`
+        share: closed-check, deadline admissibility, overflow policy
+        (waiting for space until ``deadline_at`` under ``block``), push,
+        and a consumer wake-up after every successful push — so a bulk
+        producer that later blocks for space has already made its pushed
+        requests dispatchable.
+
+        Fates: ``"admitted"``, ``"expired"``, ``"rejected"`` (depth policy
+        refused: rejecting while full, or block policy out of time),
+        ``"stopped"``.
+        """
+        if self._closed or self._draining:
+            return "stopped"
+        if not self._admissible(request, self._clock()):
+            return "expired"
+        if len(self._heap) >= self.max_depth:
+            if self.overflow == "reject":
+                return "rejected"
+            remaining = (
+                None if deadline_at is None else deadline_at - self._clock()
+            )
+            if not self._cond.wait_for(
+                lambda: len(self._heap) < self.max_depth
+                or self._closed
+                or self._draining,
+                remaining,
+            ):
+                return "rejected"
+            if self._closed or self._draining:
+                return "stopped"
+        heapq.heappush(self._heap, (-request.priority, self._seq, request))
+        self._seq += 1
+        self._cond.notify_all()
+        return "admitted"
+
+    def expired_error(self, request: LabelingRequest) -> DeadlineExpired:
+        """The admission-expiry error for ``request`` (shared wording for
+        the raise-on-put and settle-on-future paths)."""
+        return DeadlineExpired(
+            f"deadline {request.deadline}s cannot cover the cheapest "
+            f"model cost {self.min_cost}s"
+        )
+
+    def rejected_error(self, timeout: float | None) -> QueueFull:
+        """The depth-refusal error under the current overflow policy."""
+        if self.overflow == "reject":
+            return QueueFull(
+                f"queue at max depth {self.max_depth} (overflow policy: reject)"
+            )
+        return QueueFull(
+            f"queue stayed at max depth {self.max_depth} "
+            f"for {timeout}s (overflow policy: block)"
+        )
+
     def put(self, request: LabelingRequest, timeout: float | None = None) -> None:
         """Admit one request, enforcing deadline and depth policies.
 
@@ -144,56 +233,78 @@ class RequestQueue:
         the cheapest model, :class:`QueueFull` when depth policy refuses
         it, and :class:`ServiceStopped` when the queue is closed.
         """
+        deadline_at = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            fate = self._admit_locked(request, deadline_at)
+        if fate == "stopped":
+            raise ServiceStopped("queue is not accepting new requests")
+        if fate == "expired":
+            raise self.expired_error(request)
+        if fate == "rejected":
+            raise self.rejected_error(timeout)
+
+    def put_many(
+        self,
+        requests: list[LabelingRequest],
+        timeout: float | None = None,
+    ) -> BulkAdmission:
+        """Admit many requests under one lock round.
+
+        The bulk counterpart of :meth:`put`: all bookkeeping happens inside
+        a single condition acquisition (the ``block`` overflow policy may
+        still release it while waiting for space).  Unlike :meth:`put`,
+        admission failures never raise mid-stream — each request lands in
+        exactly one :class:`BulkAdmission` bucket, so the caller can settle
+        per-request futures — except when the queue is already closed,
+        which raises :class:`ServiceStopped` before anything is admitted.
+
+        Under ``block`` overflow, ``timeout`` bounds the *total* time spent
+        waiting for space across the whole call.
+        """
+        buckets: dict[str, list[LabelingRequest]] = {
+            "admitted": [], "expired": [], "rejected": [], "stopped": [],
+        }
+        deadline_at = None if timeout is None else self._clock() + timeout
         with self._cond:
             if self._closed or self._draining:
                 raise ServiceStopped("queue is not accepting new requests")
-            if not self._admissible(request, self._clock()):
-                raise DeadlineExpired(
-                    f"deadline {request.deadline}s cannot cover the cheapest "
-                    f"model cost {self.min_cost}s"
-                )
-            if len(self._heap) >= self.max_depth:
-                if self.overflow == "reject":
-                    raise QueueFull(
-                        f"queue at max depth {self.max_depth} "
-                        f"(overflow policy: reject)"
-                    )
-                if not self._cond.wait_for(
-                    lambda: len(self._heap) < self.max_depth
-                    or self._closed
-                    or self._draining,
-                    timeout,
-                ):
-                    raise QueueFull(
-                        f"queue stayed at max depth {self.max_depth} "
-                        f"for {timeout}s (overflow policy: block)"
-                    )
-                if self._closed or self._draining:
-                    raise ServiceStopped("queue closed while waiting for space")
-            heapq.heappush(self._heap, (-request.priority, self._seq, request))
-            self._seq += 1
-            self._cond.notify_all()
+            for request in requests:
+                buckets[self._admit_locked(request, deadline_at)].append(request)
+        return BulkAdmission(
+            admitted=tuple(buckets["admitted"]),
+            expired=tuple(buckets["expired"]),
+            rejected=tuple(buckets["rejected"]),
+            stopped=tuple(buckets["stopped"]),
+        )
 
     # -- consumer side -------------------------------------------------------
 
     def pop_batch(
         self, max_items: int, max_wait: float
     ) -> tuple[list[LabelingRequest], list[LabelingRequest], str | None]:
-        """Form one micro-batch: ``(batch, expired, reason)``.
+        """Form one homogeneous micro-batch: ``(batch, expired, reason)``.
 
-        Blocks until at least one request is available, then collects up to
-        ``max_items`` of them, waiting at most ``max_wait`` seconds from the
-        moment the batch started forming.  Requests whose deadline ran out
-        while queued land in ``expired`` instead of the batch.  ``reason``
-        is ``"size"`` (batch filled), ``"wait"`` (timer elapsed), ``"drain"``
-        (queue draining or closing flushed a partial batch), or ``None``
-        with both lists empty once the queue is closed and empty — the
-        consumer's signal to exit.
+        Blocks until at least one request is available.  The first
+        admissible request (highest priority, FIFO within a class) anchors
+        the batch's :attr:`~LabelingRequest.batch_key`; up to ``max_items``
+        same-key requests join from anywhere in the queue, in pop order.
+        Different-key requests are left queued for a later pop.  Requests
+        whose deadline ran out while queued land in ``expired`` instead of
+        the batch.
+
+        ``reason`` is ``"size"`` (batch filled), ``"wait"`` (``max_wait``
+        elapsed since the batch started forming), ``"regime_split"``
+        (the timer elapsed on an underfull batch while different-key
+        requests waited — the batch was bounded by grouping, not by
+        traffic), ``"drain"`` (queue draining or closing flushed a partial
+        batch), or ``None`` with both lists empty once the queue is closed
+        and empty — the consumer's signal to exit.
         """
         if max_items < 1:
             raise ValueError("max_items must be >= 1")
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
+        _unset = object()
         with self._cond:
             while True:
                 while not self._heap and not self._closed:
@@ -202,23 +313,48 @@ class RequestQueue:
                     return [], [], None
                 batch: list[LabelingRequest] = []
                 expired: list[LabelingRequest] = []
+                key = _unset
+                saw_mismatch = False
+                scanned_seq = None
                 flush_at = self._clock() + max_wait
                 while True:
-                    now = self._clock()
-                    while self._heap and len(batch) < max_items:
-                        _, _, request = heapq.heappop(self._heap)
-                        if self._admissible(request, now):
-                            batch.append(request)
-                        else:
-                            expired.append(request)
-                    self._cond.notify_all()
+                    # Rescan only when new requests arrived since the last
+                    # scan (each rescan still walks past every
+                    # different-key entry, so a forming batch costs
+                    # O(depth) heap ops per *arrival* — see the ROADMAP
+                    # note on per-key buckets — but idle wakes are free).
+                    if scanned_seq != self._seq:
+                        now = self._clock()
+                        mismatched: list[tuple[int, int, LabelingRequest]] = []
+                        while self._heap and len(batch) < max_items:
+                            entry = heapq.heappop(self._heap)
+                            request = entry[2]
+                            if not self._admissible(request, now):
+                                expired.append(request)
+                                continue
+                            if key is _unset:
+                                key = request.batch_key
+                            if request.batch_key == key:
+                                batch.append(request)
+                            else:
+                                mismatched.append(entry)
+                        # Different-key requests keep their (priority, seq)
+                        # entries, so their ordering survives the round trip.
+                        for entry in mismatched:
+                            heapq.heappush(self._heap, entry)
+                        saw_mismatch = saw_mismatch or bool(mismatched)
+                        scanned_seq = self._seq
+                        self._cond.notify_all()
                     if len(batch) >= max_items:
                         return batch, expired, "size"
                     if self._closed or self._draining:
                         return batch, expired, "drain"
                     remaining = flush_at - self._clock()
                     if remaining <= 0:
-                        return batch, expired, "wait"
+                        reason = (
+                            "regime_split" if batch and saw_mismatch else "wait"
+                        )
+                        return batch, expired, reason
                     self._cond.wait(remaining)
 
     # -- lifecycle -----------------------------------------------------------

@@ -10,16 +10,25 @@ engine's batched scheduling path.  That turns per-item request traffic
 into the large stacked-forward batches the engine needs for throughput,
 while ``max_wait`` caps how long any request waits for batch-mates.
 
-Admission (priority ordering, backpressure, deadline drops) lives in
-:class:`~repro.serving.queue.RequestQueue`; observability lives in
-:class:`~repro.serving.telemetry.ServiceTelemetry`.  Worker threads share
-the engine safely: scheduling is pure reads over recorded outputs and
-stateless network forwards (see ``repro.engine.backends``).  Each batch
-labels against either its own ephemeral ground-truth cache or a shared
-one; with a shared cache the service serializes recording and refcounts
-in-flight item ids, so concurrent batches never record the same item
-twice or evict a record another batch is still scheduling against, and
-service-recorded entries are released once their last batch finishes —
+Each request carries a :class:`~repro.spec.LabelingSpec` — its scheduling
+regime, constraints, and priority.  Requests submitted without one inherit
+the service's default spec.  The queue groups dispatch by
+:attr:`LabelingSpec.batch_key`, so every micro-batch is *homogeneous*
+(one regime, one deadline class, one memory budget) and one service hosts
+unconstrained, deadline, and deadline+memory clients concurrently; a
+batch whose flush timer expired while other-regime traffic waited is
+reported with flush reason ``regime_split``.
+
+Admission (priority ordering, backpressure, deadline drops, grouping)
+lives in :class:`~repro.serving.queue.RequestQueue`; observability lives
+in :class:`~repro.serving.telemetry.ServiceTelemetry`.  Worker threads
+share the engine safely: scheduling is pure reads over recorded outputs
+and stateless network forwards (see ``repro.engine.backends``).  Each
+batch labels against either its own ephemeral ground-truth cache or a
+shared one; with a shared cache the service serializes recording and
+refcounts in-flight item ids, so concurrent batches never record the same
+item twice or evict a record another batch is still scheduling against,
+and service-recorded entries are released once their last batch finishes —
 a long-lived service runs in bounded memory.
 
 Lifecycle: ``start()`` launches the dispatcher and workers; ``drain()``
@@ -37,7 +46,6 @@ from collections.abc import Iterable
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.data.datasets import DataItem
-from repro.engine.backends import validate_constraints
 from repro.engine.engine import LabelingEngine
 from repro.serving.queue import (
     DeadlineExpired,
@@ -47,6 +55,7 @@ from repro.serving.queue import (
     ServiceStopped,
 )
 from repro.serving.telemetry import ServiceTelemetry, TelemetrySnapshot
+from repro.spec import LabelingSpec
 from repro.zoo.oracle import GroundTruth
 
 #: Default flush timer: how long a request waits for batch-mates at most.
@@ -74,11 +83,13 @@ class LabelingService:
     max_depth / overflow:
         Admission-queue backpressure bound and full-queue policy
         (``"block"`` or ``"reject"``), see :class:`RequestQueue`.
-    deadline / memory_budget / max_models:
-        Scheduling constraints applied to every dispatched batch (the
-        paper's per-item regimes; shared service-wide so batches stay
-        homogeneous).  Distinct from per-request *admission* deadlines,
-        which bound queue wait and are passed to :meth:`submit`.
+    spec:
+        Default :class:`LabelingSpec` for requests submitted without one
+        (the paper's per-item regimes).  The legacy
+        ``deadline``/``memory_budget``/``max_models`` kwargs build it when
+        omitted; passing both raises.  Distinct from per-request
+        *admission* deadlines, which bound queue wait and are passed to
+        :meth:`submit`.
     truth:
         Optional shared ground-truth cache.  Items already recorded there
         are scheduled against the existing records; records the engine
@@ -97,6 +108,7 @@ class LabelingService:
         workers: int = DEFAULT_WORKERS,
         max_depth: int = DEFAULT_MAX_DEPTH,
         overflow: str = "block",
+        spec: LabelingSpec | None = None,
         deadline: float | None = None,
         memory_budget: float | None = None,
         max_models: int | None = None,
@@ -110,14 +122,16 @@ class LabelingService:
             raise ValueError("max_wait must be non-negative")
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        validate_constraints(deadline, memory_budget)
         self.engine = engine
         self.batch_size = batch_size
         self.max_wait = max_wait
         self.workers = workers
-        self.deadline = deadline
-        self.memory_budget = memory_budget
-        self.max_models = max_models
+        self.default_spec = LabelingSpec.resolve(
+            spec,
+            deadline=deadline,
+            memory_budget=memory_budget,
+            max_models=max_models,
+        )
         self.truth = truth
         self._clock = clock
         min_cost = float(engine.zoo.times.min()) if len(engine.zoo) else 0.0
@@ -145,23 +159,52 @@ class LabelingService:
 
     # -- client API ----------------------------------------------------------
 
+    def _request_spec(
+        self, spec: LabelingSpec | None, priority: int | None
+    ) -> LabelingSpec:
+        """The spec one submission labels under.
+
+        An explicit ``spec`` wins (and makes the ``priority`` kwarg an
+        error — priorities live on the spec); otherwise the service
+        default applies, with ``priority`` layered on top.
+        """
+        if spec is None:
+            base = self.default_spec
+            return base if priority is None else base.with_(priority=priority)
+        if not isinstance(spec, LabelingSpec):
+            raise TypeError(
+                f"spec must be a LabelingSpec, got {type(spec).__name__}"
+            )
+        if priority is not None:
+            raise ValueError(
+                "pass priority either on the spec or as the priority kwarg, "
+                "not both"
+            )
+        return spec
+
     def submit(
         self,
         item: DataItem,
-        priority: int = 0,
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
     ) -> Future:
         """Enqueue one item; returns a future resolving to its result.
 
-        ``priority`` orders dispatch (higher first, FIFO within a class);
-        ``deadline`` is this request's wall-clock budget in seconds —
-        requests that can no longer afford the cheapest model are dropped
+        ``spec`` sets this request's scheduling constraints and priority
+        (defaulting to the service's spec); only requests whose specs share
+        a batch key are batched together.  ``deadline`` is this request's
+        *admission* budget: wall-clock seconds from submission after which
+        it can no longer afford the cheapest model and is dropped
         (:class:`DeadlineExpired` here at admission, or set on the future
-        if the budget runs out while queued).  A full queue raises
-        :class:`QueueFull` under the ``reject`` policy, or blocks up to
-        ``timeout`` under ``block``.
+        if the budget runs out while queued) — distinct from the spec's
+        scheduling deadline.  A full queue raises :class:`QueueFull` under
+        the ``reject`` policy, or blocks up to ``timeout`` under
+        ``block``.
         """
+        resolved = self._request_spec(spec, priority)
         with self._state:
             if not self._accepting:
                 raise ServiceStopped("service is not accepting new requests")
@@ -171,9 +214,10 @@ class LabelingService:
             self._pending += 1
         request = LabelingRequest(
             item=item,
-            priority=priority,
+            priority=resolved.priority,
             deadline=deadline,
             submitted_at=self._clock(),
+            spec=resolved,
         )
         try:
             self.queue.put(request, timeout=timeout)
@@ -185,6 +229,9 @@ class LabelingService:
                 self.telemetry.count("expired")
             elif isinstance(exc, QueueFull):
                 self.telemetry.count("rejected")
+            elif isinstance(exc, ServiceStopped):
+                # same accounting as a bulk request stopped mid-admission
+                self.telemetry.count("cancelled")
             raise
         self.telemetry.count("submitted")
         return request.future
@@ -192,15 +239,62 @@ class LabelingService:
     def submit_many(
         self,
         items: Iterable[DataItem],
-        priority: int = 0,
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
     ) -> list[Future]:
-        """:meth:`submit` each item; one future per item, input-ordered."""
-        return [
-            self.submit(item, priority=priority, deadline=deadline, timeout=timeout)
+        """Bulk-submit items under one shared spec; one future per item.
+
+        Unlike a loop of :meth:`submit` calls, admission bookkeeping is
+        batched — one state-lock round and one queue-lock round for the
+        whole call — and a single ``submitted_many`` telemetry event
+        records the call (``submitted`` still counts admitted items).
+        Per-item admission failures (an expired admission ``deadline``, a
+        full queue) are set on the corresponding futures instead of
+        raising, so the input-ordered future list is always complete.
+        """
+        items = list(items)
+        resolved = self._request_spec(spec, priority)
+        if not items:
+            return []
+        with self._state:
+            if not self._accepting:
+                raise ServiceStopped("service is not accepting new requests")
+            self._pending += len(items)
+        now = self._clock()
+        requests = [
+            LabelingRequest(
+                item=item,
+                priority=resolved.priority,
+                deadline=deadline,
+                submitted_at=now,
+                spec=resolved,
+            )
             for item in items
         ]
+        try:
+            outcome = self.queue.put_many(requests, timeout=timeout)
+        except BaseException:
+            with self._state:
+                self._pending -= len(items)
+                self._state.notify_all()
+            raise
+        self.telemetry.count("submitted", len(outcome.admitted))
+        self.telemetry.count("submitted_many")
+        for request in outcome.expired:
+            self.telemetry.count("expired")
+            self._resolve(request, error=self.queue.expired_error(request))
+        for request in outcome.rejected:
+            self.telemetry.count("rejected")
+            self._resolve(request, error=self.queue.rejected_error(timeout))
+        for request in outcome.stopped:
+            self.telemetry.count("cancelled")
+            self._resolve(
+                request, error=ServiceStopped("service stopped during admission")
+            )
+        return [request.future for request in requests]
 
     def snapshot(self) -> TelemetrySnapshot:
         """Telemetry snapshot including live queue depth and in-flight count."""
@@ -306,20 +400,20 @@ class LabelingService:
                 continue
             for request in batch:
                 self.telemetry.observe_queue_wait(now - request.submitted_at)
-            self.telemetry.observe_flush(len(batch), reason)
+            # The queue guarantees batch homogeneity, so the first
+            # request's spec speaks for the whole batch.
+            spec = batch[0].spec
+            self.telemetry.observe_flush(
+                len(batch), reason, regime=spec.regime if spec else None
+            )
             with self._state:
                 self._in_flight += len(batch)
             self._pool.submit(self._process_batch, batch)
 
-    def _label_batch(self, items: list[DataItem]):
+    def _label_batch(self, items: list[DataItem], spec: LabelingSpec):
         """One engine dispatch; isolated so tests can observe batch makeup."""
         if self.truth is None:
-            return self.engine.label_batch(
-                items,
-                deadline=self.deadline,
-                memory_budget=self.memory_budget,
-                max_models=self.max_models,
-            )
+            return self.engine.label_batch(items, spec)
         # Shared cache: record under the lock (GroundTruth is a plain dict
         # with no synchronization of its own) and pin this batch's records
         # so a concurrent batch's release cannot evict them mid-schedule.
@@ -331,13 +425,7 @@ class LabelingService:
             for item in items:
                 self._live[item.item_id] = self._live.get(item.item_id, 0) + 1
         try:
-            return self.engine.label_batch(
-                items,
-                deadline=self.deadline,
-                memory_budget=self.memory_budget,
-                max_models=self.max_models,
-                truth=self.truth,
-            )
+            return self.engine.label_batch(items, spec, truth=self.truth)
         finally:
             with self._truth_lock:
                 for item in items:
@@ -350,8 +438,9 @@ class LabelingService:
 
     def _process_batch(self, batch: list[LabelingRequest]) -> None:
         started = self._clock()
+        spec = batch[0].spec or self.default_spec
         try:
-            results = self._label_batch([request.item for request in batch])
+            results = self._label_batch([request.item for request in batch], spec)
         except BaseException as exc:  # propagate to every caller, keep serving
             self.telemetry.count("failed", len(batch))
             for request in batch:

@@ -22,10 +22,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 #: Counter names every snapshot carries (all start at zero).
-COUNTERS = ("submitted", "completed", "rejected", "expired", "failed", "cancelled")
+#: ``submitted_many`` counts bulk-admission *calls* (one per
+#: ``submit_many``), while ``submitted`` keeps counting individual items.
+COUNTERS = (
+    "submitted",
+    "submitted_many",
+    "completed",
+    "rejected",
+    "expired",
+    "failed",
+    "cancelled",
+)
 
-#: Flush triggers the dispatch loop distinguishes.
-FLUSH_REASONS = ("size", "wait", "drain")
+#: Flush triggers the dispatch loop distinguishes.  ``regime_split`` marks
+#: an underfull batch whose timer expired while different-regime requests
+#: waited — bounded by grouping, not by traffic (see
+#: ``RequestQueue.pop_batch``).
+FLUSH_REASONS = ("size", "wait", "drain", "regime_split")
 
 
 @dataclass(frozen=True)
@@ -107,12 +120,15 @@ class TelemetrySnapshot:
     counters: dict[str, int] = field(
         default_factory=lambda: {name: 0 for name in COUNTERS}
     )
-    #: Batches dispatched, by flush trigger: size/wait/drain.
+    #: Batches dispatched, by flush trigger: size/wait/drain/regime_split.
     flushes: dict[str, int] = field(
         default_factory=lambda: {reason: 0 for reason in FLUSH_REASONS}
     )
     #: Total items dispatched across all batches.
     batched_items: int = 0
+    #: Items dispatched per scheduling regime (qgreedy/deadline/…); only
+    #: regimes that saw traffic appear.
+    regimes: dict[str, int] = field(default_factory=dict)
     #: Requests waiting in the admission queue right now.
     queue_depth: int = 0
     #: Requests inside worker batches right now.
@@ -146,9 +162,18 @@ class TelemetrySnapshot:
             (
                 f"  batches     {self.batches} dispatched "
                 f"(size {self.flushes['size']} / wait {self.flushes['wait']} / "
-                f"drain {self.flushes['drain']}), mean size {self.mean_batch_size:.1f}"
+                f"drain {self.flushes['drain']} / "
+                f"regime_split {self.flushes['regime_split']}), "
+                f"mean size {self.mean_batch_size:.1f}"
             ),
             f"  throughput  {self.throughput:.1f} items/sec",
+        ]
+        if self.regimes:
+            per_regime = "  ".join(
+                f"{regime} {count}" for regime, count in sorted(self.regimes.items())
+            )
+            lines.append(f"  regimes     {per_regime}")
+        lines += [
             f"  queue wait  {self.queue_wait.format()}",
             f"  service     {self.service_time.format()}",
             f"  now         queue depth {self.queue_depth}, in flight {self.in_flight}",
@@ -176,6 +201,7 @@ class ServiceTelemetry:
         self._counters = {name: 0 for name in COUNTERS}
         self._flushes = {reason: 0 for reason in FLUSH_REASONS}
         self._batched_items = 0
+        self._regimes: dict[str, int] = {}
         self._queue_wait = LatencyHistogram(self._capacity, seed=1)
         self._service_time = LatencyHistogram(self._capacity, seed=2)
 
@@ -196,10 +222,12 @@ class ServiceTelemetry:
         with self._lock:
             self._service_time.observe(seconds)
 
-    def observe_flush(self, size: int, reason: str) -> None:
+    def observe_flush(self, size: int, reason: str, regime: str | None = None) -> None:
         with self._lock:
             self._flushes[reason] += 1
             self._batched_items += size
+            if regime is not None:
+                self._regimes[regime] = self._regimes.get(regime, 0) + size
 
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> TelemetrySnapshot:
         with self._lock:
@@ -208,6 +236,7 @@ class ServiceTelemetry:
                 counters=dict(self._counters),
                 flushes=dict(self._flushes),
                 batched_items=self._batched_items,
+                regimes=dict(self._regimes),
                 queue_depth=queue_depth,
                 in_flight=in_flight,
                 queue_wait=self._queue_wait.stats(),

@@ -1,0 +1,192 @@
+"""LabelingSpec: the one first-class request/constraint object.
+
+The paper schedules every item under one of three *regimes* — unconstrained
+Q-greedy, Algorithm 1 (deadline), Algorithm 2 (deadline + memory) — and a
+request's regime used to travel through the stack as loose kwargs copied
+verbatim from :class:`~repro.core.framework.AdaptiveModelScheduler` down to
+the serving tier.  :class:`LabelingSpec` replaces those kwargs with a single
+frozen value that every layer shares:
+
+* the **framework** and **engine** accept ``spec=`` on every labeling call
+  (legacy ``deadline=/memory_budget=/max_models=`` kwargs still work and are
+  normalized through :meth:`LabelingSpec.resolve`; passing both raises);
+* **backends** receive the resolved spec inside the
+  :class:`~repro.engine.backends.LabelingJob` and dispatch on
+  :attr:`LabelingSpec.regime`;
+* the **serving tier** attaches a spec to each request and groups queued
+  requests by :attr:`LabelingSpec.batch_key`, so every dispatched
+  micro-batch is homogeneous — one service hosts Q-greedy, deadline, and
+  deadline+memory traffic concurrently.
+
+Constraint validation happens once, eagerly, in ``__post_init__`` — a
+negative ``deadline``, a ``memory_budget`` without a deadline, or a
+``max_models`` below 1 raises :class:`ValueError` at the API boundary
+instead of flowing silently into the schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["REGIMES", "LabelingSpec", "validate_constraints"]
+
+#: The paper's scheduling regimes, also the legal ``policy`` overrides.
+REGIMES = ("qgreedy", "deadline", "deadline_memory")
+
+
+@dataclass(frozen=True)
+class LabelingSpec:
+    """Per-request scheduling constraints and service terms.
+
+    Parameters
+    ----------
+    deadline:
+        Serial-time budget in seconds for Algorithm 1 (or the completion
+        bound of Algorithm 2 when ``memory_budget`` is also set).
+    memory_budget:
+        GPU-memory budget in MB; requires ``deadline`` (Algorithm 2).
+    max_models:
+        Cap on executed models for the unconstrained Q-greedy regime.
+    priority:
+        Serving-tier dispatch class (higher pops first); ignored outside
+        the serving tier and deliberately **not** part of
+        :attr:`batch_key` — priorities order admission, they do not change
+        scheduling semantics, so mixed-priority requests may share a batch.
+    policy:
+        Optional regime override (one of :data:`REGIMES`).  By default the
+        regime is derived from which constraints are set; ``policy`` pins
+        it instead — e.g. ``policy="qgreedy"`` with a ``deadline`` set
+        schedules greedily and ignores the deadline entirely (it is
+        carried on the spec but excluded from :attr:`batch_key`, and
+        serving-tier *admission* deadlines are a separate
+        ``submit(deadline=…)`` argument).  A policy that *requires* a
+        constraint the spec lacks (``"deadline"`` without a deadline) is
+        rejected.
+    """
+
+    deadline: float | None = None
+    memory_budget: float | None = None
+    max_models: int | None = None
+    priority: int = 0
+    policy: str | None = None
+
+    def __post_init__(self):
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if self.memory_budget is not None:
+            if self.memory_budget < 0:
+                raise ValueError("memory_budget must be non-negative")
+            if self.deadline is None:
+                raise ValueError("memory_budget requires a deadline")
+        if self.max_models is not None and self.max_models < 1:
+            raise ValueError("max_models must be >= 1")
+        if self.policy is not None:
+            if self.policy not in REGIMES:
+                raise ValueError(
+                    f"unknown policy {self.policy!r}; choose from {sorted(REGIMES)}"
+                )
+            if self.policy == "deadline" and self.deadline is None:
+                raise ValueError("policy 'deadline' requires a deadline")
+            if self.policy == "deadline_memory" and self.memory_budget is None:
+                raise ValueError(
+                    "policy 'deadline_memory' requires a deadline and a "
+                    "memory_budget"
+                )
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def regime(self) -> str:
+        """Which scheduling algorithm this spec selects.
+
+        ``policy`` wins when set; otherwise the regime is derived from the
+        constraints: ``deadline_memory`` (Algorithm 2) when a memory budget
+        is present, ``deadline`` (Algorithm 1) when only a deadline is, and
+        ``qgreedy`` otherwise.
+        """
+        if self.policy is not None:
+            return self.policy
+        if self.memory_budget is not None:
+            return "deadline_memory"
+        if self.deadline is not None:
+            return "deadline"
+        return "qgreedy"
+
+    @property
+    def batch_key(self) -> tuple:
+        """Hashable grouping key: specs with equal keys may share a batch.
+
+        The key carries the regime plus only the constraints that regime
+        actually schedules under, so e.g. two ``qgreedy``-policy specs with
+        different (ignored) deadlines still batch together.  ``priority``
+        is excluded by design (see class docstring).
+        """
+        regime = self.regime
+        if regime == "deadline_memory":
+            return (regime, self.deadline, self.memory_budget)
+        if regime == "deadline":
+            return (regime, self.deadline)
+        return (regime, self.max_models)
+
+    # -- construction --------------------------------------------------------
+
+    def with_(self, **changes) -> "LabelingSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def resolve(
+        cls,
+        spec: "LabelingSpec | None" = None,
+        *,
+        deadline: float | None = None,
+        memory_budget: float | None = None,
+        max_models: int | None = None,
+        priority: int | None = None,
+        policy: str | None = None,
+    ) -> "LabelingSpec":
+        """Normalize one labeling call's constraints into a single spec.
+
+        Every entry point funnels through here: with ``spec=None`` the
+        legacy kwargs build a fresh (validated) spec; with a ``spec`` the
+        kwargs must all be unset — passing constraints both ways is
+        ambiguous and raises :class:`ValueError` instead of guessing.
+        """
+        kwargs = {
+            name: value
+            for name, value in (
+                ("deadline", deadline),
+                ("memory_budget", memory_budget),
+                ("max_models", max_models),
+                ("priority", priority),
+                ("policy", policy),
+            )
+            if value is not None
+        }
+        if spec is None:
+            return cls(**kwargs)
+        if not isinstance(spec, cls):
+            raise TypeError(
+                f"spec must be a LabelingSpec, got {type(spec).__name__}"
+            )
+        if kwargs:
+            raise ValueError(
+                "pass constraints either as spec= or as legacy kwargs, not "
+                f"both (got spec and {sorted(kwargs)})"
+            )
+        return spec
+
+
+def validate_constraints(
+    deadline: float | None,
+    memory_budget: float | None,
+    max_models: int | None = None,
+) -> None:
+    """Reject inconsistent constraints (legacy helper).
+
+    Kept for callers predating :class:`LabelingSpec`; constructing the spec
+    *is* the validation now.
+    """
+    LabelingSpec(
+        deadline=deadline, memory_budget=memory_budget, max_models=max_models
+    )

@@ -10,6 +10,7 @@ from repro.engine import (
     BatchedBackend,
     LabelingEngine,
     LabelingJob,
+    LabelingSpec,
     SerialBackend,
     ThreadPoolBackend,
     make_backend,
@@ -111,6 +112,68 @@ class TestBackendParity:
         assert calls["single"] == 0
 
 
+class TestSpecParity:
+    """The spec= form must be trace-identical to the legacy kwargs form."""
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_label_batch_spec_equals_kwargs(
+        self, zoo, world_config, predictor, truth, items, regime
+    ):
+        engine = engine_for(zoo, predictor, world_config, "batched")
+        via_kwargs = engine.label_batch(items, truth=truth, **regime)
+        via_spec = engine.label_batch(items, LabelingSpec(**regime), truth=truth)
+        for ref, got in zip(via_kwargs, via_spec):
+            assert got.item_id == ref.item_id
+            assert got.trace.executions == ref.trace.executions
+            assert got.label_names == ref.label_names
+
+    def test_label_stream_spec_equals_kwargs(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        engine = engine_for(zoo, predictor, world_config, "batched")
+        via_kwargs = list(
+            engine.label_stream(
+                items, deadline=0.4, truth=truth, batch_size=7,
+                release_records=False,
+            )
+        )
+        via_spec = list(
+            engine.label_stream(
+                items, LabelingSpec(deadline=0.4), truth=truth, batch_size=7,
+                release_records=False,
+            )
+        )
+        for ref, got in zip(via_kwargs, via_spec):
+            assert got.trace.executions == ref.trace.executions
+
+    def test_spec_and_kwargs_together_raise(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        engine = engine_for(zoo, predictor, world_config, "batched")
+        with pytest.raises(ValueError, match="not both"):
+            engine.label_batch(
+                items, LabelingSpec(deadline=0.4), deadline=0.4, truth=truth
+            )
+        # streams validate at call time, before the first item is consumed
+        with pytest.raises(ValueError, match="not both"):
+            engine.label_stream(
+                items, LabelingSpec(deadline=0.4), max_models=3, truth=truth
+            )
+
+    def test_policy_override_pins_the_regime(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        # policy="qgreedy" with a deadline set keeps the deadline for
+        # grouping/admission but schedules greedily over the whole zoo
+        engine = engine_for(zoo, predictor, world_config, "batched")
+        spec = LabelingSpec(deadline=0.2, policy="qgreedy")
+        assert spec.regime == "qgreedy"
+        overridden = engine.label_batch(items[:6], spec, truth=truth)
+        unconstrained = engine.label_batch(items[:6], truth=truth)
+        for ref, got in zip(unconstrained, overridden):
+            assert got.trace.executions == ref.trace.executions
+
+
 class TestRecordLifecycle:
     def test_stream_releases_engine_owned_records(
         self, zoo, world_config, predictor, items
@@ -170,12 +233,23 @@ class TestEngineApi:
     def test_job_validation(self, zoo, world_config, items):
         truth = GroundTruth(zoo, items[:1], world_config)
         ids = (items[0].item_id,)
+        # constraint validation happens when the spec is built, before the
+        # job ever exists
         with pytest.raises(ValueError, match="requires a deadline"):
-            LabelingJob(truth=truth, item_ids=ids, memory_budget=1.0)
+            LabelingJob(truth=truth, item_ids=ids, spec=LabelingSpec(memory_budget=1.0))
         with pytest.raises(ValueError, match="non-negative"):
-            LabelingJob(truth=truth, item_ids=ids, deadline=-1.0)
+            LabelingJob(truth=truth, item_ids=ids, spec=LabelingSpec(deadline=-1.0))
+        with pytest.raises(TypeError, match="LabelingSpec"):
+            LabelingJob(truth=truth, item_ids=ids, spec={"deadline": 0.5})
         with pytest.raises(KeyError, match="not recorded"):
             LabelingJob(truth=truth, item_ids=("missing",))
+        job = LabelingJob(
+            truth=truth, item_ids=ids, spec=LabelingSpec(deadline=0.5, max_models=3)
+        )
+        # convenience views delegate to the spec
+        assert job.deadline == 0.5
+        assert job.memory_budget is None
+        assert job.max_models == 3
 
     def test_invalid_batch_size(self, zoo, world_config, predictor):
         with pytest.raises(ValueError, match="batch_size"):

@@ -1,5 +1,6 @@
 """The serving tier: micro-batch flushes, admission, lifecycle, telemetry."""
 
+import threading
 import time
 
 import pytest
@@ -12,6 +13,7 @@ from repro.serving import (
     DeadlineExpired,
     LabelingRequest,
     LabelingService,
+    LabelingSpec,
     LatencyHistogram,
     QueueFull,
     RequestQueue,
@@ -67,7 +69,9 @@ class TestMicroBatchFlush:
         snapshot = service.snapshot()
         assert snapshot.counters["submitted"] == 8
         assert snapshot.counters["completed"] == 8
-        assert snapshot.flushes == {"size": 2, "wait": 0, "drain": 0}
+        assert snapshot.flushes == {
+            "size": 2, "wait": 0, "drain": 0, "regime_split": 0,
+        }
         assert snapshot.batched_items == 8
         assert snapshot.mean_batch_size == 4.0
 
@@ -168,9 +172,9 @@ class TestPriorityAdmission:
         service = service_for(engine, truth, batch_size=4, max_wait=5.0, workers=1)
         dispatched = []
         inner = service._label_batch
-        service._label_batch = lambda batch: (
+        service._label_batch = lambda batch, spec: (
             dispatched.append([i.item_id for i in batch]),
-            inner(batch),
+            inner(batch, spec),
         )[1]
         futures = [
             service.submit(item, priority=i % 2)
@@ -304,7 +308,7 @@ class TestLifecycle:
         service = service_for(engine, truth, batch_size=4, max_wait=5.0)
         boom = RuntimeError("backend exploded")
 
-        def failing(batch):
+        def failing(batch, spec):
             raise boom
 
         service._label_batch = failing
@@ -362,6 +366,238 @@ class TestTelemetry:
         stats = LatencyHistogram().stats()
         assert stats.count == 0
         assert stats.format() == "no samples"
+
+
+def recording_service(engine, truth, **kwargs):
+    """A service whose every engine dispatch is logged as (item_ids, spec)."""
+    service = service_for(engine, truth, **kwargs)
+    dispatched = []
+    inner = service._label_batch
+    service._label_batch = lambda batch, spec: (
+        dispatched.append(([i.item_id for i in batch], spec)),
+        inner(batch, spec),
+    )[1]
+    return service, dispatched
+
+
+class TestMixedRegimes:
+    """One service hosting several specs dispatches only homogeneous batches."""
+
+    def test_mixed_traffic_yields_only_homogeneous_batches(
+        self, engine, truth, items
+    ):
+        specs = [
+            LabelingSpec(),
+            LabelingSpec(deadline=0.35),
+            LabelingSpec(deadline=0.5, memory_budget=8000.0),
+        ]
+        service, dispatched = recording_service(
+            engine, truth, batch_size=4, max_wait=0.005, deadline=None
+        )
+        by_item = {}
+        with service:
+            futures = []
+            for i, item in enumerate(items):
+                spec = specs[i % len(specs)]
+                by_item[item.item_id] = spec
+                futures.append(service.submit(item, spec))
+            results = [f.result(timeout=10) for f in futures]
+        assert len(results) == len(items)
+        assert service.snapshot().counters["failed"] == 0
+        # every dispatched batch holds exactly one batch_key, and the spec
+        # handed to the engine is that key's spec
+        assert dispatched
+        for item_ids, spec in dispatched:
+            keys = {by_item[i].batch_key for i in item_ids}
+            assert keys == {spec.batch_key}
+        # all three regimes actually flowed through the service
+        seen = {spec.regime for _, spec in dispatched}
+        assert seen == {"qgreedy", "deadline", "deadline_memory"}
+
+    def test_per_regime_telemetry_counters(self, engine, truth, items):
+        service = service_for(
+            engine, truth, batch_size=4, max_wait=0.005, deadline=None
+        )
+        with service:
+            futures = [
+                service.submit(item, LabelingSpec(deadline=0.35))
+                for item in items[:6]
+            ] + [service.submit(item) for item in items[6:12]]
+            [f.result(timeout=10) for f in futures]
+        regimes = service.snapshot().regimes
+        assert regimes["deadline"] == 6
+        assert regimes["qgreedy"] == 6
+        assert "regimes" in service.snapshot().format()
+
+    def test_pre_start_mixed_queue_splits_deterministically(
+        self, engine, truth, items
+    ):
+        # 4 unconstrained + 4 deadline requests queued before start(), with
+        # a huge batch_size: the first pop takes all of one key and, since
+        # other-key traffic was waiting when its timer expired, flushes as
+        # regime_split; the second pop gets the rest.
+        service, dispatched = recording_service(
+            engine, truth, batch_size=64, max_wait=0.05, workers=1, deadline=None
+        )
+        futures = []
+        for i, item in enumerate(items[:8]):
+            spec = LabelingSpec(deadline=0.35) if i % 2 else LabelingSpec()
+            futures.append(service.submit(item, spec))
+        with service:
+            [f.result(timeout=10) for f in futures]
+        assert [len(ids) for ids, _ in dispatched] == [4, 4]
+        assert service.snapshot().flushes["regime_split"] >= 1
+        # FIFO anchor: the first batch is the first-submitted key's
+        assert dispatched[0][1].regime == "qgreedy"
+        assert dispatched[1][1].regime == "deadline"
+
+    def test_results_match_direct_engine_dispatch_per_spec(
+        self, engine, truth, items
+    ):
+        # mixed-regime serving adds grouping, not semantics: every future
+        # resolves to the trace a direct engine call under its spec yields
+        specs = [LabelingSpec(), LabelingSpec(deadline=0.35)]
+        pairs = [(item, specs[i % 2]) for i, item in enumerate(items)]
+        service = service_for(
+            engine, truth, batch_size=8, max_wait=0.005, deadline=None
+        )
+        with service:
+            futures = [(item, spec, service.submit(item, spec)) for item, spec in pairs]
+            served = [(item, spec, f.result(timeout=10)) for item, spec, f in futures]
+        for spec in specs:
+            group = [(item, got) for item, s, got in served if s is spec]
+            direct = engine.label_batch([item for item, _ in group], spec, truth=truth)
+            for (_, got), ref in zip(group, direct):
+                assert got.item_id == ref.item_id
+                assert got.trace.executions == ref.trace.executions
+
+    def test_spec_plus_priority_kwarg_rejected(self, engine, truth, items):
+        service = service_for(engine, truth)
+        with pytest.raises(ValueError, match="not both"):
+            service.submit(items[0], LabelingSpec(priority=1), priority=2)
+        with pytest.raises(ValueError, match="not both"):
+            LabelingService(
+                engine, spec=LabelingSpec(deadline=0.5), deadline=0.5
+            )
+
+    def test_service_spec_constructor_equivalence(self, engine, truth, items):
+        via_kwargs = service_for(engine, truth)  # deadline=0.35 kwarg
+        via_spec = LabelingService(
+            engine, truth=truth, spec=LabelingSpec(deadline=0.35)
+        )
+        assert via_kwargs.default_spec == via_spec.default_spec
+        with via_kwargs, via_spec:
+            a = via_kwargs.submit(items[0]).result(timeout=10)
+            b = via_spec.submit(items[0]).result(timeout=10)
+        assert a.trace.executions == b.trace.executions
+
+    def test_priority_kwarg_layers_on_default_spec(self, engine, truth, items):
+        service = service_for(engine, truth)
+        spec = service._request_spec(None, 3)
+        assert spec.priority == 3
+        assert spec.deadline == service.default_spec.deadline
+        # and without a priority the default spec is used as-is
+        assert service._request_spec(None, None) is service.default_spec
+
+
+class TestBulkAdmission:
+    def test_submit_many_counts_one_bulk_event(self, engine, truth, items):
+        service = service_for(engine, truth, batch_size=4, max_wait=0.01)
+        with service:
+            futures = service.submit_many(items[:10])
+            [f.result(timeout=10) for f in futures]
+        counters = service.snapshot().counters
+        assert counters["submitted"] == 10
+        assert counters["submitted_many"] == 1
+        assert counters["completed"] == 10
+
+    def test_submit_many_with_spec(self, engine, truth, items):
+        service = service_for(
+            engine, truth, batch_size=4, max_wait=0.01, deadline=None
+        )
+        with service:
+            futures = service.submit_many(
+                items[:6], LabelingSpec(deadline=0.35, priority=1)
+            )
+            results = [f.result(timeout=10) for f in futures]
+        assert [r.item_id for r in results] == [i.item_id for i in items[:6]]
+        assert service.snapshot().regimes == {"deadline": 6}
+
+    def test_submit_many_expired_items_fail_their_futures(
+        self, engine, truth, items, min_cost
+    ):
+        # bulk admission never raises mid-stream: the impossible-deadline
+        # items get DeadlineExpired on their futures, the rest complete
+        service = service_for(engine, truth, batch_size=4, max_wait=0.01)
+        with service:
+            futures = service.submit_many(items[:4], deadline=min_cost / 2)
+            good = service.submit_many(items[4:8])
+            for future in futures:
+                with pytest.raises(DeadlineExpired):
+                    future.result(timeout=10)
+            [f.result(timeout=10) for f in good]
+        counters = service.snapshot().counters
+        assert counters["expired"] == 4
+        assert counters["submitted"] == 4
+        assert counters["submitted_many"] == 2
+        assert counters["completed"] == 4
+
+    def test_submit_many_reject_overflow_fails_futures(
+        self, engine, truth, items
+    ):
+        service = service_for(
+            engine, truth, batch_size=2, max_depth=2, overflow="reject"
+        )
+        futures = service.submit_many(items[:5])
+        for future in futures[2:]:
+            with pytest.raises(QueueFull):
+                future.result(timeout=10)
+        counters = service.snapshot().counters
+        assert counters["rejected"] == 3
+        assert counters["submitted"] == 2
+        with service:
+            pass
+        assert service.snapshot().counters["completed"] == 2
+
+    def test_put_many_overflow_wakes_running_consumer(self, items):
+        # Regression: bulk admission beyond max_depth under block overflow
+        # must wake the (idle) consumer for the requests it already pushed
+        # before blocking for space — not deadlock on the shared condition.
+        queue = RequestQueue(max_depth=2, overflow="block")
+        popped = []
+
+        def consumer():
+            while True:
+                batch, _, reason = queue.pop_batch(2, 0.005)
+                if reason is None:
+                    return
+                popped.extend(batch)
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # park the consumer in the empty-heap wait
+        outcome = queue.put_many(
+            [request_for(item) for item in items[:6]], timeout=5.0
+        )
+        assert len(outcome.admitted) == 6
+        assert not outcome.rejected and not outcome.stopped
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    def test_submit_many_empty_input(self, engine, truth):
+        service = service_for(engine, truth)
+        assert service.submit_many([]) == []
+        assert service.snapshot().counters["submitted_many"] == 0
+        service.shutdown()
+
+    def test_submit_many_refused_after_drain(self, engine, truth, items):
+        service = service_for(engine, truth)
+        service.start()
+        service.drain(timeout=10)
+        with pytest.raises(ServiceStopped):
+            service.submit_many(items[:3])
+        service.shutdown()
 
 
 class TestQueueValidation:

@@ -1,0 +1,192 @@
+"""LabelingSpec: eager validation, regime derivation, grouping, resolution."""
+
+import pytest
+
+from repro import LabelingSpec
+from repro.spec import REGIMES, validate_constraints
+
+
+class TestValidation:
+    """Constraints are rejected once, eagerly, at the API boundary."""
+
+    def test_negative_deadline(self):
+        with pytest.raises(ValueError, match="deadline must be non-negative"):
+            LabelingSpec(deadline=-0.1)
+
+    def test_negative_memory_budget(self):
+        with pytest.raises(ValueError, match="memory_budget must be non-negative"):
+            LabelingSpec(deadline=0.5, memory_budget=-1.0)
+
+    def test_memory_budget_requires_deadline(self):
+        with pytest.raises(ValueError, match="requires a deadline"):
+            LabelingSpec(memory_budget=8000.0)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_max_models_below_one(self, bad):
+        with pytest.raises(ValueError, match="max_models"):
+            LabelingSpec(max_models=bad)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            LabelingSpec(policy="round_robin")
+
+    def test_policy_missing_required_constraints(self):
+        with pytest.raises(ValueError, match="requires a deadline"):
+            LabelingSpec(policy="deadline")
+        with pytest.raises(ValueError, match="memory_budget"):
+            LabelingSpec(deadline=0.5, policy="deadline_memory")
+
+    def test_zero_deadline_is_legal(self):
+        # a zero budget schedules nothing but is not an error (matches the
+        # schedulers' boundary semantics)
+        assert LabelingSpec(deadline=0.0).regime == "deadline"
+
+    def test_with_revalidates(self):
+        spec = LabelingSpec(deadline=0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            spec.with_(deadline=-1.0)
+        assert spec.with_(priority=2).priority == 2
+
+    def test_legacy_validate_constraints_wrapper(self):
+        validate_constraints(0.5, 8000.0)
+        with pytest.raises(ValueError, match="requires a deadline"):
+            validate_constraints(None, 8000.0)
+
+
+class TestRegime:
+    def test_derived_from_constraints(self):
+        assert LabelingSpec().regime == "qgreedy"
+        assert LabelingSpec(max_models=4).regime == "qgreedy"
+        assert LabelingSpec(deadline=0.5).regime == "deadline"
+        assert (
+            LabelingSpec(deadline=0.5, memory_budget=8000.0).regime
+            == "deadline_memory"
+        )
+
+    def test_policy_overrides_derivation(self):
+        spec = LabelingSpec(deadline=0.5, policy="qgreedy")
+        assert spec.regime == "qgreedy"
+        pinned = LabelingSpec(deadline=0.5, memory_budget=8000.0, policy="deadline")
+        assert pinned.regime == "deadline"
+
+    def test_every_regime_name_is_legal_policy(self):
+        for regime in REGIMES:
+            spec = LabelingSpec(deadline=0.5, memory_budget=8000.0, policy=regime)
+            assert spec.regime == regime
+
+
+class TestBatchKey:
+    def test_same_constraints_group(self):
+        assert LabelingSpec(deadline=0.5).batch_key == LabelingSpec(0.5).batch_key
+
+    def test_different_regimes_split(self):
+        keys = {
+            LabelingSpec().batch_key,
+            LabelingSpec(deadline=0.5).batch_key,
+            LabelingSpec(deadline=0.5, memory_budget=8000.0).batch_key,
+        }
+        assert len(keys) == 3
+
+    def test_different_deadline_classes_split(self):
+        assert (
+            LabelingSpec(deadline=0.3).batch_key
+            != LabelingSpec(deadline=0.5).batch_key
+        )
+
+    def test_priority_is_not_part_of_the_key(self):
+        # priorities order admission; they do not change scheduling, so
+        # mixed-priority requests may share a batch
+        assert (
+            LabelingSpec(deadline=0.5, priority=0).batch_key
+            == LabelingSpec(deadline=0.5, priority=9).batch_key
+        )
+
+    def test_irrelevant_constraints_excluded(self):
+        # a qgreedy-policy spec ignores its deadline, so two of them with
+        # different (ignored) deadlines still batch together
+        assert (
+            LabelingSpec(deadline=0.3, policy="qgreedy").batch_key
+            == LabelingSpec(deadline=0.9, policy="qgreedy").batch_key
+        )
+        # but max_models matters in the qgreedy regime
+        assert (
+            LabelingSpec(max_models=3).batch_key != LabelingSpec(max_models=4).batch_key
+        )
+
+    def test_keys_are_hashable_and_stable(self):
+        spec = LabelingSpec(deadline=0.5, memory_budget=8000.0)
+        assert hash(spec.batch_key) == hash(spec.with_(priority=5).batch_key)
+
+
+class TestResolve:
+    def test_kwargs_build_a_spec(self):
+        spec = LabelingSpec.resolve(None, deadline=0.5, max_models=3)
+        assert spec == LabelingSpec(deadline=0.5, max_models=3)
+
+    def test_no_arguments_is_unconstrained(self):
+        assert LabelingSpec.resolve(None) == LabelingSpec()
+
+    def test_spec_passes_through_unchanged(self):
+        spec = LabelingSpec(deadline=0.5)
+        assert LabelingSpec.resolve(spec) is spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline": 0.5},
+            {"memory_budget": 8000.0},
+            {"max_models": 3},
+            {"priority": 1},
+            {"policy": "qgreedy"},
+        ],
+    )
+    def test_spec_plus_any_kwarg_conflicts(self, kwargs):
+        spec = LabelingSpec(deadline=0.5, memory_budget=8000.0)
+        with pytest.raises(ValueError, match="not both"):
+            LabelingSpec.resolve(spec, **kwargs)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError, match="LabelingSpec"):
+            LabelingSpec.resolve({"deadline": 0.5})
+
+    def test_kwargs_are_validated(self):
+        with pytest.raises(ValueError, match="requires a deadline"):
+            LabelingSpec.resolve(None, memory_budget=1.0)
+
+
+class TestFrameworkSpecParity:
+    """spec= and legacy kwargs are the same call, end to end."""
+
+    @pytest.fixture(scope="class")
+    def scheduler(self, zoo, world_config, trained):
+        from repro.core.framework import AdaptiveModelScheduler
+
+        return AdaptiveModelScheduler(zoo, world_config, agent=trained.agent)
+
+    def test_label_spec_equals_kwargs(self, scheduler, splits, truth):
+        _, test = splits
+        ref = scheduler.label(test[0], deadline=0.4, truth=truth)
+        got = scheduler.label(test[0], LabelingSpec(deadline=0.4), truth=truth)
+        assert got.trace.executions == ref.trace.executions
+
+    def test_label_conflict_raises(self, scheduler, splits, truth):
+        _, test = splits
+        with pytest.raises(ValueError, match="not both"):
+            scheduler.label(
+                test[0], LabelingSpec(deadline=0.4), deadline=0.4, truth=truth
+            )
+
+    def test_label_stream_conflict_raises_eagerly(self, scheduler, splits, truth):
+        _, test = splits
+        # no iteration: the conflict must surface at call time
+        with pytest.raises(ValueError, match="not both"):
+            scheduler.label_stream(
+                test[:5], LabelingSpec(deadline=0.4), deadline=0.4, truth=truth
+            )
+
+    def test_invalid_constraints_raise_before_scheduling(self, scheduler, splits):
+        _, test = splits
+        with pytest.raises(ValueError, match="max_models"):
+            scheduler.label(test[0], max_models=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            scheduler.label_batch(test.items[:2], deadline=-0.5)
