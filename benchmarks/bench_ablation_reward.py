@@ -6,7 +6,6 @@ log (or mean) smoothing keeps rewards in one order of magnitude.  We train
 with each smoothing and compare scheduling quality at 0.8 recall.
 """
 
-import numpy as np
 from conftest import run_and_print
 
 from repro.analysis.metrics import average_cost_curves

@@ -11,7 +11,6 @@ i.e. the automatically-learned graph beats the handcrafted Table II rules
 and approaches the DRL agent, while remaining fully interpretable.
 """
 
-import numpy as np
 from conftest import run_and_print
 
 from repro.analysis.metrics import average_cost_curves

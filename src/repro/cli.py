@@ -203,6 +203,7 @@ def cmd_serve(args) -> int:
         overflow=args.overflow,
         spec=service_spec,
         truth=truth,
+        cache_size=args.cache_size or None,
     )
 
     items = list(dataset)
@@ -210,6 +211,8 @@ def cmd_serve(args) -> int:
     def client(index: int) -> None:
         # Each client replays its slice of the stream at ~rate/clients
         # requests/sec with seeded jitter, mimicking independent callers.
+        # --repeat > 1 resubmits the slice; with --cache-size the repeat
+        # rounds are answered from the result cache without scheduling.
         rng = np.random.default_rng(args.seed + index)
         gap = args.clients / args.rate if args.rate > 0 else 0.0
         base = (
@@ -217,7 +220,7 @@ def cmd_serve(args) -> int:
             if client_specs is not None
             else service.default_spec
         )
-        for item in items[index :: args.clients]:
+        for item in list(items[index :: args.clients]) * args.repeat:
             try:
                 service.submit(
                     item,
@@ -251,6 +254,8 @@ def cmd_serve(args) -> int:
     )
     snapshot = service.snapshot()
     print(snapshot.format())
+    if service.cache is not None:
+        print(f"  result cache {service.cache.stats().format()}")
     return 0 if snapshot.counters["failed"] == 0 else 1
 
 
@@ -352,6 +357,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-request admission budget, seconds",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="result-cache capacity keyed by (item, batch_key); "
+        "0 disables the cache",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="times each client replays its item slice (repeat rounds "
+        "hit the result cache when --cache-size is set)",
     )
     p.add_argument(
         "--backend", default="batched", choices=sorted(BACKEND_REGISTRY)

@@ -15,7 +15,7 @@ Three scales are used throughout the repository:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 #: Confidence threshold above which an emitted label counts as "valuable"

@@ -13,7 +13,6 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-import numpy as np
 
 from repro.config import ExperimentScale, get_scale
 from repro.core.reward import RewardConfig

@@ -10,10 +10,15 @@ with bounded-depth backpressure and deadline-based drops; everything is
 observable through telemetry snapshots.
 
 Every request carries a :class:`~repro.spec.LabelingSpec` (or inherits
-the service default), and dispatch groups requests by
+the service default), and requests are queued into one FIFO bucket per
 :attr:`LabelingSpec.batch_key` so each micro-batch is homogeneous — one
 service hosts unconstrained, deadline, and deadline+memory traffic at
-once.
+once.  Buckets are served by weighted round-robin (stride scheduling:
+higher-priority buckets proportionally more often, every backlogged
+bucket within bounded rounds), so no regime starves under cross-traffic.
+An optional :class:`ResultCache` in front of the queue answers repeat
+submissions of hot ``(item, batch_key)`` pairs without scheduling and
+coalesces concurrent duplicates onto one in-flight future.
 
 Quickstart::
 
@@ -36,8 +41,10 @@ from repro.serving.queue import (
     ServiceStopped,
     ServingError,
 )
+from repro.serving.result_cache import CacheStats, ResultCache
 from repro.spec import LabelingSpec
 from repro.serving.service import (
+    DEFAULT_EXPIRY_INTERVAL,
     DEFAULT_MAX_DEPTH,
     DEFAULT_MAX_WAIT,
     DEFAULT_WORKERS,
@@ -52,6 +59,8 @@ from repro.serving.telemetry import (
 
 __all__ = [
     "BulkAdmission",
+    "CacheStats",
+    "DEFAULT_EXPIRY_INTERVAL",
     "DEFAULT_MAX_DEPTH",
     "DEFAULT_MAX_WAIT",
     "DEFAULT_WORKERS",
@@ -63,6 +72,7 @@ __all__ = [
     "LatencyStats",
     "QueueFull",
     "RequestQueue",
+    "ResultCache",
     "ServiceStopped",
     "ServiceTelemetry",
     "ServingError",

@@ -1,0 +1,135 @@
+"""The PR-3 heap grouper, kept as a parity and fairness baseline.
+
+:class:`LegacyGroupingQueue` is the queue :class:`~repro.serving.queue.
+RequestQueue` replaced: one global priority heap, with homogeneous batches
+formed by anchoring on the highest-priority admissible request and
+re-walking every different-key entry per arrival (O(depth) heap ops under
+the queue lock).  Its two structural flaws motivated the bucket rewrite:
+
+* **Starvation** — the anchor is always the top of the priority heap, so
+  under sustained higher-priority traffic of one regime a lower-priority
+  regime is never anchored and never dispatched.
+* **Scan cost** — a forming batch pops and re-pushes every different-key
+  entry each time new requests arrive.
+
+It stays in the tree (not exported from ``repro.serving``) because it is
+the *reference* the rewrite is judged against: single-regime dispatch
+traces must be identical (``tests/test_fair_queue.py``), and
+``benchmarks/bench_fair_dispatch.py`` replays the same cross-traffic
+trace through both queues to show bounded vs. unbounded low-priority
+wait.  Admission (backpressure, deadline checks, bulk puts) is inherited
+from :class:`RequestQueue` — only storage and batch formation differ.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.serving.queue import LabelingRequest, RequestQueue
+
+
+class LegacyGroupingQueue(RequestQueue):
+    """Priority-heap request buffer with anchor-by-priority grouping."""
+
+    def __init__(self, *args, **kwargs):
+        self._heap: list[tuple[int, int, LabelingRequest]] = []
+        super().__init__(*args, **kwargs)
+
+    # -- storage (one global heap instead of per-key buckets) ---------------
+
+    def _len_locked(self) -> int:
+        return len(self._heap)
+
+    def _store_locked(self, request: LabelingRequest) -> None:
+        heapq.heappush(self._heap, (-request.priority, self._seq, request))
+        self._seq += 1
+
+    # -- consumer side -------------------------------------------------------
+
+    def pop_batch(
+        self, max_items: int, max_wait: float
+    ) -> tuple[list[LabelingRequest], list[LabelingRequest], str | None]:
+        """The PR-3 batch former: anchor by priority, rescan per arrival."""
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        _unset = object()
+        with self._cond:
+            while True:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if not self._heap:
+                    return [], [], None
+                batch: list[LabelingRequest] = []
+                expired: list[LabelingRequest] = []
+                key = _unset
+                saw_mismatch = False
+                scanned_seq = None
+                flush_at = self._clock() + max_wait
+                while True:
+                    # Rescan only when new requests arrived since the last
+                    # scan.  Each rescan walks past every different-key
+                    # entry — the O(depth)-per-arrival cost the bucket
+                    # queue eliminates.
+                    if scanned_seq != self._seq:
+                        now = self._clock()
+                        mismatched: list[tuple[int, int, LabelingRequest]] = []
+                        while self._heap and len(batch) < max_items:
+                            entry = heapq.heappop(self._heap)
+                            request = entry[2]
+                            if not self._admissible(request, now):
+                                expired.append(request)
+                                continue
+                            if key is _unset:
+                                key = request.batch_key
+                            if request.batch_key == key:
+                                batch.append(request)
+                            else:
+                                mismatched.append(entry)
+                        # Different-key requests keep their (priority, seq)
+                        # entries, so their ordering survives the round trip.
+                        for entry in mismatched:
+                            heapq.heappush(self._heap, entry)
+                        saw_mismatch = saw_mismatch or bool(mismatched)
+                        scanned_seq = self._seq
+                        self._cond.notify_all()
+                    if len(batch) >= max_items:
+                        return batch, expired, "size"
+                    if self._closed or self._draining:
+                        return batch, expired, "drain"
+                    remaining = flush_at - self._clock()
+                    if remaining <= 0:
+                        reason = (
+                            "regime_split" if batch and saw_mismatch else "wait"
+                        )
+                        return batch, expired, reason
+                    self._cond.wait(remaining)
+
+    def expire_overdue(self, now: float | None = None) -> list[LabelingRequest]:
+        """Heap-walking counterpart of the bucket queue's timer expiry."""
+        removed: list[LabelingRequest] = []
+        with self._cond:
+            when = self._clock() if now is None else now
+            kept = []
+            for entry in self._heap:
+                if self._admissible(entry[2], when):
+                    kept.append(entry)
+                else:
+                    removed.append(entry[2])
+            if removed:
+                self._heap = kept
+                heapq.heapify(self._heap)
+                self._cond.notify_all()
+        return removed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> list[LabelingRequest]:
+        """Close the queue; leftovers come back in (priority, seq) order."""
+        with self._cond:
+            self._closed = True
+            leftovers = [request for _, _, request in sorted(self._heap)]
+            self._heap.clear()
+            self._cond.notify_all()
+            return leftovers

@@ -1,40 +1,58 @@
-"""Priority-aware request queue: backpressure, deadlines, regime grouping.
+"""Per-key FIFO dispatch buckets with weighted-fair key selection.
 
 The queue is the admission layer of the serving tier.  It holds
 :class:`LabelingRequest` records between ``submit()`` and dispatch, and
 enforces the policies the dispatch loop should never have to think about:
 
-* **Priority ordering** — higher ``priority`` pops first; within one
-  priority class requests pop in submission order (FIFO).
+* **Per-key buckets** — requests land in one FIFO ``deque`` per
+  :attr:`~repro.spec.LabelingSpec.batch_key` (same regime / deadline class
+  / memory budget).  Admission appends to a deque and batch formation pops
+  from one, so both are O(1)-amortized per request — no cross-key heap
+  scans under the queue lock (the PR-3 grouper re-walked every
+  different-key entry per arrival, O(depth)).
+* **Weighted fairness** — :meth:`pop_batch` picks the bucket to serve by
+  stride scheduling: every bucket carries a virtual-time ``pass`` value,
+  the lowest pass wins, and serving ``n`` items advances the winner's pass
+  by ``n / weight`` where the weight grows with the batch's highest
+  priority.  High-priority buckets are served proportionally more often,
+  but a backlogged low-priority bucket's pass stays put while everyone
+  else's advances, so it is always selected within a bounded number of
+  batches — sustained high-priority cross-traffic can no longer starve a
+  regime (the PR-3 grouper anchored strictly by priority and could).
+  Within one bucket requests pop strictly FIFO; a request's priority
+  raises its whole bucket's service rate instead of reordering its
+  neighbours.
 * **Backpressure** — depth is bounded by ``max_depth``.  When full, the
   ``overflow`` policy either rejects immediately (:class:`QueueFull`) or
   blocks the producer until space frees up (with an optional timeout).
 * **Deadline admission** — a request whose remaining deadline cannot cover
   even the cheapest model's execution cost can never produce a label, so
   it is dropped instead of wasting a batch slot: at ``put`` time with
-  :class:`DeadlineExpired`, or silently into the expired list at
-  ``pop_batch`` time if its budget ran out while queued.
+  :class:`DeadlineExpired`, silently into the expired list as
+  :meth:`pop_batch` reaches it, or — so a bucket the dispatcher is not
+  currently serving settles its doomed requests promptly — via
+  :meth:`expire_overdue`, which the service calls on a timer tick.
 * **Homogeneous grouping** — every batch :meth:`pop_batch` forms contains
-  only requests sharing one :attr:`~repro.spec.LabelingSpec.batch_key`
-  (same regime / deadline class / memory budget).  The first admissible
-  request (in priority order) anchors the key; same-key requests join from
-  anywhere in the queue, different-key requests stay queued for the next
-  pop.  Batch formation per key keeps the usual size/``max_wait`` bounds —
-  a flush whose timer expired while other-key traffic waited is reported
-  as ``"regime_split"`` so operators can see grouping at work.
+  only requests from one bucket, i.e. one ``batch_key``.  A flush whose
+  timer expired while other-key traffic waited is reported as
+  ``"regime_split"`` so operators can see grouping at work.
 
 Request deadlines are wall-clock budgets in seconds from submission, the
 same currency as the zoo's per-model costs — queue wait spends the same
 budget the scheduler spends executing models, mirroring the paper's
 deadline-constrained regime end to end.
+
+The PR-3 heap grouper survives as
+:class:`repro.serving.legacy.LegacyGroupingQueue`, the parity and
+fairness baseline (``benchmarks/bench_fair_dispatch.py``).
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -47,6 +65,16 @@ _DEADLINE_EPS = 1e-9
 
 #: Overflow policies: reject new requests vs. block the producer.
 OVERFLOW_POLICIES = ("block", "reject")
+
+#: Priority exponent clamp for stride weights: keeps ``2.0 ** priority``
+#: finite and the worst-case service-rate ratio between two buckets
+#: bounded, so aging always drains a backlogged bucket in bounded rounds.
+_PRIORITY_CLAMP = 32
+
+
+def priority_weight(priority: int) -> float:
+    """Stride-scheduling weight of a priority class (always positive)."""
+    return 2.0 ** min(max(priority, -_PRIORITY_CLAMP), _PRIORITY_CLAMP)
 
 
 class ServingError(RuntimeError):
@@ -70,7 +98,7 @@ class LabelingRequest:
     """One client request: an item, its admission terms, and its future."""
 
     item: DataItem
-    #: Higher pops sooner; ties resolve in submission order.
+    #: Raises the owning bucket's service rate; FIFO within the bucket.
     priority: int = 0
     #: Optional wall-clock budget in seconds, counted from ``submitted_at``.
     deadline: float | None = None
@@ -79,6 +107,9 @@ class LabelingRequest:
     #: Scheduling constraints this request labels under (``None`` groups
     #: with other spec-less requests; the service always attaches one).
     spec: LabelingSpec | None = None
+    #: Result-cache key this request fills on completion (``None`` when
+    #: the service runs without a cache).
+    cache_key: tuple | None = None
     #: Resolves to a :class:`~repro.engine.results.LabelingResult` or an error.
     future: Future = field(default_factory=Future)
 
@@ -108,13 +139,41 @@ class BulkAdmission:
     stopped: tuple[LabelingRequest, ...]
 
 
+class _Bucket:
+    """One batch_key's FIFO backlog plus its fair-share bookkeeping."""
+
+    __slots__ = ("key", "items", "pass_value", "deadlined", "pinned")
+
+    def __init__(self, key, pass_value: float):
+        self.key = key
+        #: FIFO backlog of ``(seq, request)`` pairs.
+        self.items: deque[tuple[int, LabelingRequest]] = deque()
+        #: Stride-scheduling virtual time; lowest pass is served next.
+        self.pass_value = pass_value
+        #: Queued requests carrying an admission deadline.
+        self.deadlined = 0
+        #: Consumers currently forming a batch anchored on this bucket
+        #: (guards against pruning a bucket a pop is still filling from).
+        self.pinned = 0
+
+    def push(self, seq: int, request: LabelingRequest) -> None:
+        self.items.append((seq, request))
+        if request.deadline is not None:
+            self.deadlined += 1
+
+    def forget(self, request: LabelingRequest) -> None:
+        """Bookkeeping for one request removed from ``items``."""
+        if request.deadline is not None:
+            self.deadlined -= 1
+
+
 class RequestQueue:
-    """Bounded, priority-ordered, deadline-checking, grouping request buffer.
+    """Bounded, deadline-checking buffer of per-key FIFO dispatch buckets.
 
     Parameters
     ----------
     max_depth:
-        Backpressure bound: most requests buffered at once.
+        Backpressure bound: most requests buffered at once (all buckets).
     overflow:
         ``"block"`` makes :meth:`put` wait for space (until ``timeout``);
         ``"reject"`` raises :class:`QueueFull` immediately.
@@ -145,27 +204,54 @@ class RequestQueue:
         self.overflow = overflow
         self.min_cost = float(min_cost)
         self._clock = clock
-        self._heap: list[tuple[int, int, LabelingRequest]] = []
         self._seq = 0
         self._cond = threading.Condition()
         self._closed = False
         self._draining = False
+        #: batch_key -> bucket, holding exactly the keys with queued (or
+        #: batch-forming) traffic: emptied buckets are pruned after every
+        #: pop/expiry sweep, so a long-lived queue seeing unbounded
+        #: distinct keys (every float deadline is its own key) stays
+        #: bounded by concurrent traffic, not by history.
+        self._buckets: dict = {}
+        self._depth = 0
+        #: Global stride-scheduling virtual time (pass of the last-served
+        #: bucket); newly ready buckets join at this point, never earlier,
+        #: so an idle bucket cannot bank credit against active ones.
+        self._vtime = 0.0
 
     # -- state ---------------------------------------------------------------
 
     @property
     def depth(self) -> int:
-        """Requests currently buffered."""
+        """Requests currently buffered (across all buckets)."""
         with self._cond:
-            return len(self._heap)
+            return self._len_locked()
 
     def __len__(self) -> int:
         return self.depth
+
+    def _len_locked(self) -> int:
+        return self._depth
 
     def _admissible(self, request: LabelingRequest, now: float) -> bool:
         return request.remaining(now) >= self.min_cost - _DEADLINE_EPS
 
     # -- producer side -------------------------------------------------------
+
+    def _store_locked(self, request: LabelingRequest) -> None:
+        """Append one admitted request to its bucket, O(1)."""
+        key = request.batch_key
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(key, self._vtime)
+        elif not bucket.items:
+            # Ready again after an idle stretch: re-enter the round at the
+            # current virtual time (keep any outstanding debt).
+            bucket.pass_value = max(bucket.pass_value, self._vtime)
+        bucket.push(self._seq, request)
+        self._seq += 1
+        self._depth += 1
 
     def _admit_locked(
         self, request: LabelingRequest, deadline_at: float | None
@@ -187,14 +273,14 @@ class RequestQueue:
             return "stopped"
         if not self._admissible(request, self._clock()):
             return "expired"
-        if len(self._heap) >= self.max_depth:
+        if self._len_locked() >= self.max_depth:
             if self.overflow == "reject":
                 return "rejected"
             remaining = (
                 None if deadline_at is None else deadline_at - self._clock()
             )
             if not self._cond.wait_for(
-                lambda: len(self._heap) < self.max_depth
+                lambda: self._len_locked() < self.max_depth
                 or self._closed
                 or self._draining,
                 remaining,
@@ -202,8 +288,7 @@ class RequestQueue:
                 return "rejected"
             if self._closed or self._draining:
                 return "stopped"
-        heapq.heappush(self._heap, (-request.priority, self._seq, request))
-        self._seq += 1
+        self._store_locked(request)
         self._cond.notify_all()
         return "admitted"
 
@@ -262,7 +347,10 @@ class RequestQueue:
         waiting for space across the whole call.
         """
         buckets: dict[str, list[LabelingRequest]] = {
-            "admitted": [], "expired": [], "rejected": [], "stopped": [],
+            "admitted": [],
+            "expired": [],
+            "rejected": [],
+            "stopped": [],
         }
         deadline_at = None if timeout is None else self._clock() + timeout
         with self._cond:
@@ -279,18 +367,73 @@ class RequestQueue:
 
     # -- consumer side -------------------------------------------------------
 
+    def _select_locked(self) -> "_Bucket | None":
+        """The non-empty bucket stride scheduling serves next.
+
+        Lowest pass value wins; ties break FIFO by the head request's
+        submission sequence, so freshly ready buckets are anchored in
+        arrival order.  Scans one entry per *distinct key* (a handful of
+        regimes), not per queued request.
+        """
+        best = None
+        best_rank = None
+        for bucket in self._buckets.values():
+            if not bucket.items:
+                continue
+            rank = (bucket.pass_value, bucket.items[0][0])
+            if best is None or rank < best_rank:
+                best, best_rank = bucket, rank
+        return best
+
+    def _charge_locked(self, bucket: "_Bucket", batch: list[LabelingRequest]):
+        """Advance virtual time for one dispatched batch.
+
+        The bucket pays ``n / weight`` where the weight comes from the
+        batch's highest priority — serving a high-priority batch is cheap,
+        so its bucket comes up again sooner, while every other bucket's
+        pass stands still (that standing-still is the aging guarantee).
+        """
+        weight = priority_weight(max(r.priority for r in batch))
+        self._vtime = max(self._vtime, bucket.pass_value)
+        bucket.pass_value = self._vtime + len(batch) / weight
+
+    def _other_pending_locked(self, bucket: "_Bucket") -> bool:
+        return any(
+            other.items for other in self._buckets.values() if other is not bucket
+        )
+
+    def _prune_locked(self) -> None:
+        """Drop emptied buckets so ``_buckets`` tracks only live traffic.
+
+        Every distinct key ever seen would otherwise pin a bucket forever
+        (a float deadline is its own key, so long-lived services see
+        unbounded key cardinality) and every per-batch key scan would pay
+        for it.  A pruned key that returns re-enters at the current
+        virtual time — exactly where a retained *credit-free* bucket
+        would re-enter — so the only thing forgotten is the residual debt
+        of a key whose backlog fully drained, worth at most one extra
+        batch on its next burst.  Buckets a consumer is still anchored on
+        are kept (their deque must stay live for same-key arrivals).
+        """
+        stale = [
+            key
+            for key, bucket in self._buckets.items()
+            if not bucket.items and not bucket.pinned
+        ]
+        for key in stale:
+            del self._buckets[key]
+
     def pop_batch(
         self, max_items: int, max_wait: float
     ) -> tuple[list[LabelingRequest], list[LabelingRequest], str | None]:
         """Form one homogeneous micro-batch: ``(batch, expired, reason)``.
 
-        Blocks until at least one request is available.  The first
-        admissible request (highest priority, FIFO within a class) anchors
-        the batch's :attr:`~LabelingRequest.batch_key`; up to ``max_items``
-        same-key requests join from anywhere in the queue, in pop order.
-        Different-key requests are left queued for a later pop.  Requests
-        whose deadline ran out while queued land in ``expired`` instead of
-        the batch.
+        Blocks until at least one request is available, then serves the
+        bucket stride scheduling selects: up to ``max_items`` requests pop
+        from that one deque in FIFO order.  Other buckets are never
+        touched, so a forming batch costs O(1) per request plus one
+        O(#keys) selection per batch.  Requests whose deadline ran out
+        while queued land in ``expired`` instead of the batch.
 
         ``reason`` is ``"size"`` (batch filled), ``"wait"`` (``max_wait``
         elapsed since the batch started forming), ``"regime_split"``
@@ -304,58 +447,99 @@ class RequestQueue:
             raise ValueError("max_items must be >= 1")
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
-        _unset = object()
         with self._cond:
-            while True:
-                while not self._heap and not self._closed:
-                    self._cond.wait()
-                if not self._heap:
-                    return [], [], None
-                batch: list[LabelingRequest] = []
-                expired: list[LabelingRequest] = []
-                key = _unset
-                saw_mismatch = False
-                scanned_seq = None
-                flush_at = self._clock() + max_wait
+            while self._depth == 0 and not self._closed:
+                self._cond.wait()
+            if self._depth == 0:
+                return [], [], None
+            batch: list[LabelingRequest] = []
+            expired: list[LabelingRequest] = []
+            anchor: _Bucket | None = None
+            saw_other = False
+            flush_at = self._clock() + max_wait
+            try:
                 while True:
-                    # Rescan only when new requests arrived since the last
-                    # scan (each rescan still walks past every
-                    # different-key entry, so a forming batch costs
-                    # O(depth) heap ops per *arrival* — see the ROADMAP
-                    # note on per-key buckets — but idle wakes are free).
-                    if scanned_seq != self._seq:
-                        now = self._clock()
-                        mismatched: list[tuple[int, int, LabelingRequest]] = []
-                        while self._heap and len(batch) < max_items:
-                            entry = heapq.heappop(self._heap)
-                            request = entry[2]
-                            if not self._admissible(request, now):
-                                expired.append(request)
-                                continue
-                            if key is _unset:
-                                key = request.batch_key
-                            if request.batch_key == key:
-                                batch.append(request)
-                            else:
-                                mismatched.append(entry)
-                        # Different-key requests keep their (priority, seq)
-                        # entries, so their ordering survives the round trip.
-                        for entry in mismatched:
-                            heapq.heappush(self._heap, entry)
-                        saw_mismatch = saw_mismatch or bool(mismatched)
-                        scanned_seq = self._seq
-                        self._cond.notify_all()
+                    now = self._clock()
+                    while len(batch) < max_items:
+                        if anchor is None:
+                            anchor = self._select_locked()
+                            if anchor is None:
+                                break  # every bucket is empty
+                            anchor.pinned += 1
+                        if not anchor.items:
+                            if batch:
+                                break  # wait for same-key arrivals
+                            anchor.pinned -= 1
+                            anchor = None  # all expired; pick another bucket
+                            continue
+                        _, request = anchor.items.popleft()
+                        anchor.forget(request)
+                        self._depth -= 1
+                        if self._admissible(request, now):
+                            batch.append(request)
+                        else:
+                            expired.append(request)
+                    if batch or expired:
+                        self._cond.notify_all()  # space freed for producers
                     if len(batch) >= max_items:
+                        self._charge_locked(anchor, batch)
                         return batch, expired, "size"
                     if self._closed or self._draining:
+                        if batch:
+                            self._charge_locked(anchor, batch)
                         return batch, expired, "drain"
+                    if batch:
+                        saw_other = (
+                            saw_other or self._other_pending_locked(anchor)
+                        )
                     remaining = flush_at - self._clock()
                     if remaining <= 0:
-                        reason = (
-                            "regime_split" if batch and saw_mismatch else "wait"
-                        )
-                        return batch, expired, reason
+                        if batch:
+                            self._charge_locked(anchor, batch)
+                            reason = "regime_split" if saw_other else "wait"
+                            return batch, expired, reason
+                        return [], expired, "wait"
+                    if not batch and expired:
+                        # Nothing to form a batch from on this pass; hand
+                        # the doomed requests back promptly instead of
+                        # waiting out the flush timer with their futures
+                        # unsettled.
+                        return [], expired, "wait"
                     self._cond.wait(remaining)
+            finally:
+                if anchor is not None:
+                    anchor.pinned -= 1
+                self._prune_locked()
+
+    def expire_overdue(self, now: float | None = None) -> list[LabelingRequest]:
+        """Remove and return every queued request past its deadline.
+
+        :meth:`pop_batch` only examines the bucket it is serving, so a
+        doomed request in a bucket the dispatcher is busy elsewhere on
+        would otherwise wait for its turn just to be dropped.  The service
+        calls this on a timer tick to settle such futures promptly.  Cheap
+        when nothing can expire: buckets with no deadline-carrying
+        requests are skipped without scanning.
+        """
+        removed: list[LabelingRequest] = []
+        with self._cond:
+            when = self._clock() if now is None else now
+            for bucket in self._buckets.values():
+                if not bucket.deadlined:
+                    continue
+                kept: deque[tuple[int, LabelingRequest]] = deque()
+                for seq, request in bucket.items:
+                    if self._admissible(request, when):
+                        kept.append((seq, request))
+                    else:
+                        bucket.forget(request)
+                        self._depth -= 1
+                        removed.append(request)
+                bucket.items = kept
+            if removed:
+                self._prune_locked()
+                self._cond.notify_all()  # space freed for blocked producers
+        return removed
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -370,10 +554,15 @@ class RequestQueue:
 
         Wakes every blocked producer (:class:`ServiceStopped`) and consumer
         (final drain flushes, then the ``None``-reason exit signal).
+        Leftovers come back in global submission (FIFO) order.
         """
         with self._cond:
             self._closed = True
-            leftovers = [request for _, _, request in sorted(self._heap)]
-            self._heap.clear()
+            entries = [
+                entry for bucket in self._buckets.values() for entry in bucket.items
+            ]
+            leftovers = [request for _, request in sorted(entries)]
+            self._buckets.clear()
+            self._depth = 0
             self._cond.notify_all()
             return leftovers

@@ -19,9 +19,19 @@ unconstrained, deadline, and deadline+memory clients concurrently; a
 batch whose flush timer expired while other-regime traffic waited is
 reported with flush reason ``regime_split``.
 
-Admission (priority ordering, backpressure, deadline drops, grouping)
-lives in :class:`~repro.serving.queue.RequestQueue`; observability lives
-in :class:`~repro.serving.telemetry.ServiceTelemetry`.  Worker threads
+Admission (per-key FIFO buckets, weighted-fair key selection,
+backpressure, deadline drops) lives in
+:class:`~repro.serving.queue.RequestQueue`; observability lives in
+:class:`~repro.serving.telemetry.ServiceTelemetry`.  An optional
+:class:`~repro.serving.result_cache.ResultCache` sits in front of the
+queue: repeat submissions of a ``(item, batch_key)`` already labeled are
+answered from the cache without scheduling, and concurrent submissions of
+an in-flight key attach to the same future (single-flight) — the first
+submitter's admission terms (priority, admission deadline) govern the
+shared flight.  A timer thread sweeps the queue every
+``expiry_interval`` seconds so requests whose admission deadline lapses
+inside a bucket the dispatcher is busy elsewhere on settle promptly
+instead of waiting for their bucket's next turn.  Worker threads
 share the engine safely: scheduling is pure reads over recorded outputs
 and stateless network forwards (see ``repro.engine.backends``).  Each
 batch labels against either its own ephemeral ground-truth cache or a
@@ -54,6 +64,7 @@ from repro.serving.queue import (
     RequestQueue,
     ServiceStopped,
 )
+from repro.serving.result_cache import ResultCache
 from repro.serving.telemetry import ServiceTelemetry, TelemetrySnapshot
 from repro.spec import LabelingSpec
 from repro.zoo.oracle import GroundTruth
@@ -64,6 +75,8 @@ DEFAULT_MAX_WAIT = 0.02
 DEFAULT_WORKERS = 2
 #: Default admission-queue depth bound.
 DEFAULT_MAX_DEPTH = 1024
+#: Default queue sweep period for settling expired-while-queued requests.
+DEFAULT_EXPIRY_INTERVAL = 0.05
 
 
 class LabelingService:
@@ -95,6 +108,16 @@ class LabelingService:
         are scheduled against the existing records; records the engine
         adds are released after each batch.  Without it every batch uses
         an ephemeral cache.
+    cache / cache_size:
+        Optional :class:`ResultCache` in front of the queue (or a
+        capacity to build one from); repeat submissions of a cached
+        ``(item_id, batch_key)`` skip scheduling entirely and concurrent
+        duplicates coalesce onto one in-flight future.  Passing both is
+        ambiguous and raises.
+    expiry_interval:
+        Period in seconds of the queue sweep that settles requests whose
+        admission deadline lapsed while queued (``None``/``0`` disables
+        the sweep; they then settle when their bucket is next served).
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -113,6 +136,9 @@ class LabelingService:
         memory_budget: float | None = None,
         max_models: int | None = None,
         truth: GroundTruth | None = None,
+        cache: ResultCache | None = None,
+        cache_size: int | None = None,
+        expiry_interval: float | None = DEFAULT_EXPIRY_INTERVAL,
         clock=time.monotonic,
         telemetry: ServiceTelemetry | None = None,
     ):
@@ -122,6 +148,12 @@ class LabelingService:
             raise ValueError("max_wait must be non-negative")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if cache is not None and cache_size is not None:
+            raise ValueError(
+                "pass either a cache instance or cache_size, not both"
+            )
+        if expiry_interval is not None and expiry_interval < 0:
+            raise ValueError("expiry_interval must be non-negative")
         self.engine = engine
         self.batch_size = batch_size
         self.max_wait = max_wait
@@ -133,6 +165,10 @@ class LabelingService:
             max_models=max_models,
         )
         self.truth = truth
+        self.cache = cache if cache is not None else (
+            ResultCache(cache_size) if cache_size else None
+        )
+        self.expiry_interval = expiry_interval
         self._clock = clock
         min_cost = float(engine.zoo.times.min()) if len(engine.zoo) else 0.0
         self.queue = RequestQueue(
@@ -148,6 +184,8 @@ class LabelingService:
         #: Requests currently inside worker batches.
         self._in_flight = 0
         self._dispatcher: threading.Thread | None = None
+        self._reaper: threading.Thread | None = None
+        self._reaper_stop = threading.Event()
         self._pool: ThreadPoolExecutor | None = None
         # Shared-truth bookkeeping: recording is serialized, and records
         # stay alive while any in-flight batch references them.
@@ -203,15 +241,14 @@ class LabelingService:
         scheduling deadline.  A full queue raises :class:`QueueFull` under
         the ``reject`` policy, or blocks up to ``timeout`` under
         ``block``.
+
+        With a result cache, a submission whose ``(item_id, batch_key)``
+        is already cached resolves immediately without queueing, and one
+        that duplicates an in-flight key returns that flight's shared
+        future — the first submitter's admission terms apply to everyone
+        attached.
         """
         resolved = self._request_spec(spec, priority)
-        with self._state:
-            if not self._accepting:
-                raise ServiceStopped("service is not accepting new requests")
-            # Count the request pending *before* it becomes poppable, so a
-            # concurrent drain never observes a dispatched-but-uncounted
-            # request (or a transiently negative pending count).
-            self._pending += 1
         request = LabelingRequest(
             item=item,
             priority=resolved.priority,
@@ -219,6 +256,32 @@ class LabelingService:
             submitted_at=self._clock(),
             spec=resolved,
         )
+        if self.cache is not None:
+            with self._state:
+                if not self._accepting:
+                    raise ServiceStopped("service is not accepting new requests")
+            request.cache_key = resolved.cache_key(item.item_id)
+            outcome, payload = self.cache.begin(request.cache_key, request.future)
+            if outcome == "hit":
+                self.telemetry.count("cache_hit")
+                done: Future = Future()
+                done.set_result(payload)
+                return done
+            if outcome == "join":
+                self.telemetry.count("coalesced")
+                return payload
+            self.telemetry.count("cache_miss")
+        with self._state:
+            if not self._accepting:
+                error = ServiceStopped("service is not accepting new requests")
+                # A claim raced with drain: release it so attached
+                # duplicates fail instead of hanging.
+                self._abort_claim(request, error)
+                raise error
+            # Count the request pending *before* it becomes poppable, so a
+            # concurrent drain never observes a dispatched-but-uncounted
+            # request (or a transiently negative pending count).
+            self._pending += 1
         try:
             self.queue.put(request, timeout=timeout)
         except BaseException as exc:
@@ -232,6 +295,7 @@ class LabelingService:
             elif isinstance(exc, ServiceStopped):
                 # same accounting as a bulk request stopped mid-admission
                 self.telemetry.count("cancelled")
+            self._abort_claim(request, exc)
             raise
         self.telemetry.count("submitted")
         return request.future
@@ -254,6 +318,10 @@ class LabelingService:
         Per-item admission failures (an expired admission ``deadline``, a
         full queue) are set on the corresponding futures instead of
         raising, so the input-ordered future list is always complete.
+
+        With a result cache, cached items resolve immediately, duplicates
+        of in-flight keys (including duplicates *within* this call) share
+        one future, and only first-flight items are enqueued.
         """
         items = list(items)
         resolved = self._request_spec(spec, priority)
@@ -262,24 +330,59 @@ class LabelingService:
         with self._state:
             if not self._accepting:
                 raise ServiceStopped("service is not accepting new requests")
-            self._pending += len(items)
         now = self._clock()
-        requests = [
-            LabelingRequest(
+        futures: list[Future] = []
+        requests: list[LabelingRequest] = []
+        hits = joins = 0
+        for item in items:
+            request = LabelingRequest(
                 item=item,
                 priority=resolved.priority,
                 deadline=deadline,
                 submitted_at=now,
                 spec=resolved,
             )
-            for item in items
-        ]
+            if self.cache is not None:
+                request.cache_key = resolved.cache_key(item.item_id)
+                outcome, payload = self.cache.begin(
+                    request.cache_key, request.future
+                )
+                if outcome == "hit":
+                    hits += 1
+                    done: Future = Future()
+                    done.set_result(payload)
+                    futures.append(done)
+                    continue
+                if outcome == "join":
+                    joins += 1
+                    futures.append(payload)
+                    continue
+            requests.append(request)
+            futures.append(request.future)
+        if hits:
+            self.telemetry.count("cache_hit", hits)
+        if joins:
+            self.telemetry.count("coalesced", joins)
+        if self.cache is not None and requests:
+            self.telemetry.count("cache_miss", len(requests))
+        if not requests:
+            self.telemetry.count("submitted_many")
+            return futures
+        with self._state:
+            if not self._accepting:
+                error = ServiceStopped("service is not accepting new requests")
+                for request in requests:
+                    self._abort_claim(request, error)
+                raise error
+            self._pending += len(requests)
         try:
             outcome = self.queue.put_many(requests, timeout=timeout)
-        except BaseException:
+        except BaseException as exc:
             with self._state:
-                self._pending -= len(items)
+                self._pending -= len(requests)
                 self._state.notify_all()
+            for request in requests:
+                self._abort_claim(request, exc)
             raise
         self.telemetry.count("submitted", len(outcome.admitted))
         self.telemetry.count("submitted_many")
@@ -294,7 +397,7 @@ class LabelingService:
             self._resolve(
                 request, error=ServiceStopped("service stopped during admission")
             )
-        return [request.future for request in requests]
+        return futures
 
     def snapshot(self) -> TelemetrySnapshot:
         """Telemetry snapshot including live queue depth and in-flight count."""
@@ -321,6 +424,11 @@ class LabelingService:
             target=self._dispatch_loop, name="labeling-dispatcher", daemon=True
         )
         self._dispatcher.start()
+        if self.expiry_interval:
+            self._reaper = threading.Thread(
+                target=self._expiry_loop, name="labeling-expiry", daemon=True
+            )
+            self._reaper.start()
         return self
 
     def drain(self, timeout: float | None = None) -> bool:
@@ -352,8 +460,11 @@ class LabelingService:
             self._accepting = False
             self._stopped = True
         leftovers = self.queue.close()
+        self._reaper_stop.set()
         if self._dispatcher is not None:
             self._dispatcher.join()
+        if self._reaper is not None:
+            self._reaper.join()
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
         for request in leftovers:
@@ -369,15 +480,54 @@ class LabelingService:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _abort_claim(self, request: LabelingRequest, error: BaseException) -> None:
+        """Fail a claimed cache key whose request never reached the queue.
+
+        Releases the single-flight claim (so the next submission retries)
+        and settles the shared future for any duplicates already attached
+        to it.  No-op for cacheless requests.
+        """
+        if self.cache is None or request.cache_key is None:
+            return
+        self.cache.settle(request.cache_key, error=error)
+        if not request.future.done():
+            request.future.set_exception(error)
+
     def _resolve(self, request: LabelingRequest, result=None, error=None) -> None:
-        """Settle one request's future and its pending accounting."""
+        """Settle one request's future, its cache claim, and accounting."""
         if error is not None:
             request.future.set_exception(error)
         else:
             request.future.set_result(result)
+        if self.cache is not None and request.cache_key is not None:
+            self.cache.settle(request.cache_key, result=result, error=error)
         with self._state:
             self._pending -= 1
             self._state.notify_all()
+
+    def _expire_overdue(self) -> int:
+        """One queue sweep: settle every request past its admission deadline.
+
+        Runs on the reaper's timer so a doomed request in a bucket the
+        dispatcher is not currently serving fails promptly instead of
+        waiting for that bucket's next turn.  Returns how many settled.
+        """
+        removed = self.queue.expire_overdue()
+        now = self._clock()
+        for request in removed:
+            self.telemetry.count("expired")
+            self._resolve(
+                request,
+                error=DeadlineExpired(
+                    f"deadline {request.deadline}s expired after "
+                    f"{now - request.submitted_at:.3f}s in queue"
+                ),
+            )
+        return len(removed)
+
+    def _expiry_loop(self) -> None:
+        while not self._reaper_stop.wait(self.expiry_interval):
+            self._expire_overdue()
 
     def _dispatch_loop(self) -> None:
         while True:

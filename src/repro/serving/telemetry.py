@@ -24,6 +24,10 @@ import numpy as np
 #: Counter names every snapshot carries (all start at zero).
 #: ``submitted_many`` counts bulk-admission *calls* (one per
 #: ``submit_many``), while ``submitted`` keeps counting individual items.
+#: The ``cache_*``/``coalesced`` counters only move on a service built
+#: with a result cache: ``cache_hit`` submissions were answered from a
+#: completed cached result, ``coalesced`` ones attached to an in-flight
+#: duplicate, and ``cache_miss`` ones paid for scheduling.
 COUNTERS = (
     "submitted",
     "submitted_many",
@@ -32,6 +36,9 @@ COUNTERS = (
     "expired",
     "failed",
     "cancelled",
+    "cache_hit",
+    "cache_miss",
+    "coalesced",
 )
 
 #: Flush triggers the dispatch loop distinguishes.  ``regime_split`` marks
@@ -168,6 +175,14 @@ class TelemetrySnapshot:
             ),
             f"  throughput  {self.throughput:.1f} items/sec",
         ]
+        if c["cache_hit"] or c["cache_miss"] or c["coalesced"]:
+            served = c["cache_hit"] + c["coalesced"]
+            lookups = served + c["cache_miss"]
+            lines.append(
+                f"  cache       hits {c['cache_hit']}  "
+                f"coalesced {c['coalesced']}  misses {c['cache_miss']}  "
+                f"(hit rate {served / lookups:.1%})"
+            )
         if self.regimes:
             per_regime = "  ".join(
                 f"{regime} {count}" for regime, count in sorted(self.regimes.items())

@@ -128,6 +128,18 @@ class LabelingSpec:
             return (regime, self.deadline)
         return (regime, self.max_models)
 
+    def cache_key(self, item_id: str) -> tuple:
+        """Result-cache key for labeling ``item_id`` under this spec.
+
+        A labeling result is a pure function of the item and the
+        constraints its regime schedules under — exactly what
+        :attr:`batch_key` captures — so two specs that may share a batch
+        also share cached results (and ``priority``, which never changes
+        scheduling semantics, is excluded along with ignored constraints).
+        Used by :class:`~repro.serving.result_cache.ResultCache`.
+        """
+        return (item_id, self.batch_key)
+
     # -- construction --------------------------------------------------------
 
     def with_(self, **changes) -> "LabelingSpec":

@@ -24,7 +24,6 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
-from repro.config import WorldConfig
 from repro.core.output import LabelOutput, ModelOutput
 from repro.data.datasets import DataItem
 from repro.labels import LabelSpace

@@ -8,7 +8,6 @@ from repro.rl.agents import (
     DeepSARSAAgent,
     DoubleDQNAgent,
     DQNAgent,
-    DuelingDQNAgent,
     make_agent,
     masked_argmax,
 )

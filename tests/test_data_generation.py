@@ -1,15 +1,12 @@
 """Data substrate: determinism, profile effects, content coherence."""
 
-import numpy as np
 import pytest
 
-from repro.config import WorldConfig
 from repro.data.correlations import build_scene_affinities
 from repro.data.datasets import generate_dataset, train_test_split
 from repro.data.generator import WorldGenerator
 from repro.data.profiles import DATASET_PROFILES, DatasetProfile
 from repro.data.streams import chunked_stream, iid_stream
-from repro.labels import build_label_space
 
 
 class TestDeterminism:

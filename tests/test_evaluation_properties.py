@@ -5,7 +5,6 @@ verify all three on real ground-truth records with hypothesis-driven
 subset/item selection, plus the incremental accumulator's consistency.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,10 +1,8 @@
 """AdaptiveModelScheduler: the public end-to-end API (Fig. 3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.framework import AdaptiveModelScheduler
-from repro.zoo.oracle import GroundTruth
 
 
 @pytest.fixture(scope="module")

@@ -148,7 +148,10 @@ class TestSharedTruthLifecycle:
 
 
 class TestPriorityAdmission:
-    def test_queue_pops_by_priority_then_fifo(self, items):
+    def test_same_bucket_pops_fifo_regardless_of_priority(self, items):
+        # Priorities weight a bucket's service *rate*; they no longer
+        # reorder requests inside one bucket (spec-less requests all share
+        # the None-key bucket), so pops are strictly FIFO here.
         queue = RequestQueue(max_depth=16)
         for i, item in enumerate(items[:9]):
             queue.put(request_for(item, priority=i % 3))
@@ -157,35 +160,42 @@ class TestPriorityAdmission:
             batch, expired, reason = queue.pop_batch(3, 0.0)
             assert expired == [] and reason in ("size", "wait")
             popped.append([r.item.item_id for r in batch])
-        # priority classes 2, 1, 0 — submission order within each class
         assert popped == [
-            [items[i].item_id for i in (2, 5, 8)],
-            [items[i].item_id for i in (1, 4, 7)],
-            [items[i].item_id for i in (0, 3, 6)],
+            [items[i].item_id for i in (0, 1, 2)],
+            [items[i].item_id for i in (3, 4, 5)],
+            [items[i].item_id for i in (6, 7, 8)],
         ]
 
-    def test_service_dispatches_priority_classes_in_order(
+    def test_service_interleaves_priority_buckets_by_weight(
         self, engine, truth, items
     ):
-        # One worker serializes batches, so the dispatch log shows the
-        # queue's ordering under pre-start contention.
-        service = service_for(engine, truth, batch_size=4, max_wait=5.0, workers=1)
+        # Two regimes, high priority submitted first: weighted fairness
+        # serves the low-priority bucket on the second dispatch instead of
+        # draining the high-priority backlog first (the legacy grouper
+        # would dispatch high, high, low, low).  One worker serializes
+        # batches so the dispatch log shows the queue's ordering.
+        service = service_for(
+            engine, truth, batch_size=4, max_wait=5.0, workers=1, deadline=None
+        )
         dispatched = []
         inner = service._label_batch
         service._label_batch = lambda batch, spec: (
             dispatched.append([i.item_id for i in batch]),
             inner(batch, spec),
         )[1]
-        futures = [
-            service.submit(item, priority=i % 2)
-            for i, item in enumerate(items[:8])
-        ]
+        high = LabelingSpec(priority=2)
+        low = LabelingSpec(deadline=0.35, priority=0)
+        futures = [service.submit(item, high) for item in items[:8]]
+        futures += [service.submit(item, low) for item in items[8:16]]
         with service:
             for future in futures:
                 future.result(timeout=10)
+        # stride order: high pays 4/2**2=1 per batch, low pays 4/2**0=4
         assert dispatched == [
-            [items[i].item_id for i in (1, 3, 5, 7)],  # priority 1 first
-            [items[i].item_id for i in (0, 2, 4, 6)],  # then priority 0
+            [i.item_id for i in items[0:4]],  # high (FIFO tie-break)
+            [i.item_id for i in items[8:12]],  # low's turn: pass 0 < 1
+            [i.item_id for i in items[4:8]],  # high again: pass 1 < 4
+            [i.item_id for i in items[12:16]],  # low drains last
         ]
 
 

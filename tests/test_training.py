@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import TrainConfig
 from repro.core.reward import RewardConfig
 from repro.rl.training import train_agent
 from repro.scheduling.base import run_ordering_policy

@@ -1,11 +1,8 @@
 """Model zoo: construction, costs, emission behaviour, determinism."""
 
-import numpy as np
 import pytest
 
 from repro.config import WorldConfig
-from repro.data.datasets import generate_dataset
-from repro.labels import build_label_space
 from repro.zoo.builder import build_zoo
 from repro.zoo.costs import FULL_ZOO_SPECS, MINI_ZOO_SPECS, calibrated_times, specs_for_scale
 from repro.vocab import ALL_TASKS, TASK_DOG, TASK_FACE, TASK_POSE
