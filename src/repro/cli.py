@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.config import TrainConfig, WorldConfig
 from repro.data.datasets import generate_dataset
-from repro.engine import BACKEND_REGISTRY, LabelingEngine
+from repro.engine import BACKEND_REGISTRY, LabelingEngine, make_backend
 from repro.graph import build_relationship_graph
 from repro.labels import build_label_space
 from repro.persistence import load_ground_truth, save_ground_truth
@@ -46,6 +46,19 @@ def _world(args) -> tuple:
     space = build_label_space(config.vocab_scale)
     zoo = build_zoo(config, space)
     return config, space, zoo
+
+
+def _backend(args):
+    """Backend instance (or registry name) from --backend/--workers flags.
+
+    The pooled backends take a worker count; ``--workers`` sizes the
+    thread pool or, for ``--backend process``, the pool of scheduling
+    worker *processes* that escape the GIL.
+    """
+    workers = getattr(args, "workers", None)
+    if args.backend in ("thread", "process"):
+        return make_backend(args.backend, max_workers=workers)
+    return args.backend
 
 
 def cmd_record(args) -> int:
@@ -102,23 +115,26 @@ def cmd_schedule(args) -> int:
         zoo,
         predictor,
         config,
-        backend=args.backend,
+        backend=_backend(args),
         batch_size=args.batch_size,
     )
     # The CLI flags build one LabelingSpec; everything downstream shares it.
     spec = LabelingSpec(deadline=args.deadline, memory_budget=args.memory)
     items = [truth.record(item_id).item for item_id in eval_ids]
     recalls = []
-    for result in engine.label_stream(
-        items,
-        spec,
-        truth=truth,
-        release_records=False,
-    ):
-        recalls.append(result.trace.recall_by(args.deadline))
-        if args.verbose:
-            models = ", ".join(result.models_executed)
-            print(f"{result.item_id}: recall {recalls[-1]:.1%} [{models}]")
+    try:
+        for result in engine.label_stream(
+            items,
+            spec,
+            truth=truth,
+            release_records=False,
+        ):
+            recalls.append(result.trace.recall_by(args.deadline))
+            if args.verbose:
+                models = ", ".join(result.models_executed)
+                print(f"{result.item_id}: recall {recalls[-1]:.1%} [{models}]")
+    finally:
+        engine.backend.close()
     print(
         f"scheduled {len(eval_ids)} items under deadline={args.deadline}s"
         + (f", memory={args.memory}MB" if args.memory is not None else "")
@@ -177,7 +193,12 @@ def cmd_serve(args) -> int:
     if args.agent is not None:
         agent.load(args.agent)
     predictor = AgentPredictor(agent, len(zoo))
-    engine = LabelingEngine(zoo, predictor, config, backend=args.backend)
+    # The service runs a sibling engine on the backend built from the CLI
+    # flags; with ``--backend process`` the scheduling phase runs in
+    # --workers worker processes while the queue/cache/truth bookkeeping
+    # stays here.  The pool is built (and closed, in the finally below)
+    # by this command, not by the service.
+    engine = LabelingEngine(zoo, predictor, config)
     if args.mixed_regimes:
         # Three client populations, three scheduling regimes, one service:
         # the dispatcher groups them into homogeneous batches by batch_key.
@@ -196,6 +217,7 @@ def cmd_serve(args) -> int:
         )
     service = LabelingService(
         engine,
+        backend=_backend(args),
         batch_size=args.batch_size,
         max_wait=args.max_wait,
         workers=args.workers,
@@ -232,31 +254,35 @@ def cmd_serve(args) -> int:
             if gap:
                 time.sleep(float(gap * rng.uniform(0.5, 1.5)))
 
-    with service:
-        threads = [
-            threading.Thread(target=client, args=(i,)) for i in range(args.clients)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        service.drain()
-    regimes = (
-        "mixed regimes (qgreedy + deadline + deadline_memory)"
-        if args.mixed_regimes
-        else f"regime {service_spec.regime}"
-    )
-    print(
-        f"served {args.items} generated items from {args.clients} clients "
-        f"at ~{args.rate:.0f} req/s, {regimes} "
-        f"[batch {args.batch_size}, max_wait {args.max_wait * 1000:.0f}ms, "
-        f"{args.workers} workers, {args.backend} backend]"
-    )
-    snapshot = service.snapshot()
-    print(snapshot.format())
-    if service.cache is not None:
-        print(f"  result cache {service.cache.stats().format()}")
-    return 0 if snapshot.counters["failed"] == 0 else 1
+    try:
+        with service:
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(args.clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service.drain()
+        regimes = (
+            "mixed regimes (qgreedy + deadline + deadline_memory)"
+            if args.mixed_regimes
+            else f"regime {service_spec.regime}"
+        )
+        print(
+            f"served {args.items} generated items from {args.clients} clients "
+            f"at ~{args.rate:.0f} req/s, {regimes} "
+            f"[batch {args.batch_size}, max_wait {args.max_wait * 1000:.0f}ms, "
+            f"{args.workers} workers, {args.backend} backend]"
+        )
+        snapshot = service.snapshot()
+        print(snapshot.format())
+        if service.cache is not None:
+            print(f"  result cache {service.cache.stats().format()}")
+        return 0 if snapshot.counters["failed"] == 0 else 1
+    finally:
+        service.engine.backend.close()
 
 
 def _split_ids(item_ids: list[str], seed: int) -> tuple[list[str], list[str]]:
@@ -306,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", default="batched", choices=sorted(BACKEND_REGISTRY)
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for --backend thread/process (default: cpu count)",
+    )
     p.add_argument("--batch-size", type=int, default=64)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_schedule)
@@ -332,7 +364,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-wait", type=float, default=0.02, help="flush timer, seconds"
     )
-    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="engine worker threads; with --backend process also the "
+        "number of scheduling worker processes",
+    )
     p.add_argument("--max-depth", type=int, default=1024)
     p.add_argument("--overflow", default="block", choices=("block", "reject"))
     p.add_argument(

@@ -13,11 +13,13 @@ from repro.engine.backends import (
     BatchedBackend,
     ExecutionBackend,
     LabelingJob,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     make_backend,
     schedule_one_item,
 )
+from repro.engine.snapshot import WorldSnapshot
 from repro.engine.engine import DEFAULT_BATCH_SIZE, LabelingEngine
 from repro.engine.results import LabelingResult, result_from_trace
 from repro.spec import LabelingSpec
@@ -31,8 +33,10 @@ __all__ = [
     "LabelingJob",
     "LabelingResult",
     "LabelingSpec",
+    "ProcessPoolBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "WorldSnapshot",
     "make_backend",
     "result_from_trace",
     "schedule_one_item",

@@ -20,7 +20,16 @@ traces identical to :class:`SerialBackend`, the single-item reference:
   tests on seeded worlds.
 * :class:`ThreadPoolBackend` — per-item scheduling fanned out over a thread
   pool, for regimes that do not vectorize (the event-driven deadline+memory
-  packing of Algorithm 2, custom predictors without a batch path).
+  packing of Algorithm 2, custom predictors without a batch path).  The GIL
+  caps it near one core: scheduling is CPU-bound pure Python with small
+  numpy calls, so threads interleave instead of running in parallel.
+* :class:`ProcessPoolBackend` — per-item scheduling sharded into chunks
+  over a persistent :class:`~concurrent.futures.ProcessPoolExecutor`.  A
+  picklable :class:`~repro.engine.snapshot.WorldSnapshot` (zoo build
+  parameters, recorded item shards, agent ``state_dict``) ships **once per
+  worker** through the pool initializer and is reused across jobs; chunks
+  of later jobs carry only the records the snapshot lacks.  This is the
+  backend that actually scales CPU-bound scheduling past one core.
 
 Q-network inference is stateless (``train=False`` forwards cache nothing)
 and ground-truth records are only read during scheduling, which is what
@@ -29,12 +38,18 @@ makes the thread backend safe without locks.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import math
+import os
+import threading
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.state import LabelingState
+from repro.engine.snapshot import WorldSnapshot
 from repro.scheduling.base import (
     TOLERANCE,
     ScheduleTrace,
@@ -45,7 +60,7 @@ from repro.scheduling.deadline import CostQGreedyScheduler
 from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
 from repro.scheduling.qgreedy import QGreedyPolicy, QValuePredictor
 from repro.spec import LabelingSpec, validate_constraints  # noqa: F401 — re-export
-from repro.zoo.oracle import GroundTruth
+from repro.zoo.oracle import GroundTruth, ItemRecord
 
 
 @dataclass(frozen=True)
@@ -91,6 +106,14 @@ class ExecutionBackend:
     ) -> list[ScheduleTrace]:
         """One trace per job item, aligned with ``job.item_ids``."""
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend-held resources (worker pools); default no-op.
+
+        Lifecycle owners (the CLI, the serving tier, benchmarks) call
+        this unconditionally when they are done with a backend they
+        constructed.
+        """
 
 
 def schedule_one_item(
@@ -246,10 +269,237 @@ class ThreadPoolBackend(ExecutionBackend):
             )
 
 
+#: Module-level worker state: (truth, predictor) restored from the snapshot
+#: by the pool initializer, reused for every chunk the worker runs.
+_WORKER_WORLD: tuple[GroundTruth, QValuePredictor] | None = None
+
+
+def _process_worker_init(snapshot: WorldSnapshot) -> None:
+    """Pool initializer: restore the world once per worker process."""
+    global _WORKER_WORLD
+    _WORKER_WORLD = snapshot.restore()
+
+
+def _process_worker_chunk(
+    item_ids: tuple[str, ...],
+    extra_records: tuple[ItemRecord, ...],
+    spec: LabelingSpec,
+) -> tuple[int, list[ScheduleTrace]]:
+    """Schedule one chunk inside a worker; returns (worker pid, traces).
+
+    ``extra_records`` are items recorded by the parent after the snapshot
+    was captured; they are adopted for this chunk and released afterwards
+    so long-lived workers stay bounded at snapshot size.
+    """
+    if _WORKER_WORLD is None:  # pragma: no cover — initializer always ran
+        raise RuntimeError("worker initialized without a world snapshot")
+    truth, predictor = _WORKER_WORLD
+    added = truth.adopt(extra_records)
+    try:
+        job = LabelingJob(truth=truth, item_ids=tuple(item_ids), spec=spec)
+        traces = [schedule_one_item(job, predictor, item_id) for item_id in item_ids]
+    finally:
+        truth.release_many(added)
+    return os.getpid(), traces
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Per-item scheduling sharded over worker *processes* — escapes the GIL.
+
+    The first :meth:`run` captures a :class:`WorldSnapshot` from the job's
+    truth and predictor and spawns a persistent pool whose initializer
+    restores the snapshot once per worker.  Later jobs against the same
+    world (same zoo and predictor objects, same config) reuse the live
+    pool; only records the snapshot lacks are pickled, per chunk, as small
+    deltas.  Scheduling is deterministic per item and chunks are
+    reassembled in input order, so traces are identical to
+    :class:`SerialBackend` for every ``max_workers``/``chunk_size``
+    combination — the same parity contract the thread/batched backends
+    honor (enforced by the parity tests and the scaling benchmark).
+
+    A chunk that raises (a poisoned item, a predictor bug) fails this
+    :meth:`run` with the worker's exception while the pool stays alive for
+    the next job; a worker that *dies* raises
+    :class:`~concurrent.futures.process.BrokenProcessPool`, after which
+    the pool is discarded and the next job respawns it.
+
+    Thread-safe: the serving tier's worker threads may call :meth:`run`
+    concurrently (pool submission is locked only around lifecycle).
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (default: ``os.cpu_count()``).
+    chunk_size:
+        Items per worker task.  Default shards the job evenly across
+        workers (``ceil(n_items / max_workers)``); smaller chunks trade
+        pickling overhead for better balance on skewed items.
+    mp_context:
+        Optional :mod:`multiprocessing` context overriding the
+        platform-default start method.  The serving tier spawns this pool
+        lazily from a worker *thread*; ``fork`` (the Linux default before
+        Python 3.14) is fast and keeps stdin/REPL callers working, and
+        CPython/OpenBLAS register at-fork handlers for their own locks,
+        but callers that hit fork-alongside-threads issues with other
+        native libraries should pass
+        ``multiprocessing.get_context("forkserver")`` (workers then
+        re-import ``__main__``, so scripts need the usual
+        ``if __name__ == "__main__"`` guard).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        mp_context=None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        #: Strong refs backing the identity key so ids cannot be recycled.
+        self._world: tuple | None = None
+        self._world_key: tuple | None = None
+        #: Ids whose records shipped with the snapshot (never re-pickled).
+        self._shipped_ids: frozenset[str] = frozenset()
+        self._dispatch: Counter = Counter()
+        #: Jobs currently inside run(); guards world switches (see
+        #: :meth:`_ensure_pool`).
+        self._active = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; respawns on next run)."""
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = None
+        self._world = None
+        self._world_key = None
+        self._shipped_ids = frozenset()
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def dispatch_counts(self) -> dict[int, int]:
+        """Items scheduled per worker pid, cumulative across jobs."""
+        with self._lock:
+            return dict(self._dispatch)
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_pool(
+        self, truth: GroundTruth, predictor: QValuePredictor
+    ) -> tuple[ProcessPoolExecutor, frozenset[str]]:
+        """The live pool for this world, (re)spawning when the world changed.
+
+        The key is object identity of the zoo and predictor plus the world
+        config: the engine holds both for its lifetime, so steady-state
+        serving reuses one pool across every batch, including batches
+        labeled against fresh ephemeral truths (same zoo, new records —
+        those travel as chunk deltas).
+
+        The backend is *world-affine*: switching worlds (a new predictor,
+        a different zoo) tears the pool down and re-ships a snapshot, so
+        it is only allowed while no other job is in flight — concurrent
+        jobs from different worlds would cancel each other's chunks and
+        thrash respawns, and raise instead.  Callers juggling several
+        worlds concurrently should give each its own backend.
+        """
+        key = (id(truth.zoo), id(predictor), truth.config)
+        with self._lock:
+            if self._pool is not None and self._world_key == key:
+                self._active += 1
+                return self._pool, self._shipped_ids
+            if self._active > 0:
+                raise RuntimeError(
+                    "ProcessPoolBackend is world-affine: cannot switch to a "
+                    "different zoo/predictor while another job is in flight; "
+                    "use one backend per world for concurrent use"
+                )
+            self._close_locked()
+            snapshot = WorldSnapshot.capture(truth, predictor)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=self.mp_context,
+                initializer=_process_worker_init,
+                initargs=(snapshot,),
+            )
+            self._world = (truth.zoo, predictor)
+            self._world_key = key
+            self._shipped_ids = snapshot.item_ids
+            self._active += 1
+            return self._pool, self._shipped_ids
+
+    def _chunks(self, item_ids: tuple[str, ...]) -> list[tuple[str, ...]]:
+        size = self.chunk_size or max(1, math.ceil(len(item_ids) / self.max_workers))
+        return [
+            item_ids[start : start + size] for start in range(0, len(item_ids), size)
+        ]
+
+    def run(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        if len(job.item_ids) <= 1:
+            # Not worth a pool round-trip; still counted (under the parent
+            # pid) so per-worker telemetry accounts for every item.
+            with self._lock:
+                self._dispatch[os.getpid()] += len(job.item_ids)
+            return SerialBackend().run(job, predictor)
+        pool, shipped = self._ensure_pool(job.truth, predictor)
+        try:
+            futures = []
+            for chunk in self._chunks(job.item_ids):
+                extras = tuple(
+                    job.truth.record(item_id)
+                    for item_id in chunk
+                    if item_id not in shipped
+                )
+                futures.append(
+                    pool.submit(_process_worker_chunk, chunk, extras, job.spec)
+                )
+            traces: list[ScheduleTrace] = []
+            try:
+                for future in futures:
+                    pid, chunk_traces = future.result()
+                    with self._lock:
+                        self._dispatch[pid] += len(chunk_traces)
+                    traces.extend(chunk_traces)
+            except BrokenProcessPool:
+                # A worker died mid-chunk; the pool is unusable.  Drop it
+                # so the next job respawns cleanly, then surface the
+                # failure.
+                self.close()
+                raise
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+            return traces
+        finally:
+            with self._lock:
+                self._active -= 1
+
+
 #: Name -> backend class, for config/CLI-driven construction.
 BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
     cls.name: cls
-    for cls in (SerialBackend, BatchedBackend, ThreadPoolBackend)
+    for cls in (SerialBackend, BatchedBackend, ThreadPoolBackend, ProcessPoolBackend)
 }
 
 

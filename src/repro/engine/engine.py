@@ -75,6 +75,23 @@ class LabelingEngine:
         self.backend = make_backend(backend)
         self.batch_size = batch_size
 
+    def with_backend(
+        self, backend: str | ExecutionBackend, **kwargs
+    ) -> "LabelingEngine":
+        """A sibling engine sharing this world but running another backend.
+
+        The zoo, predictor, and config are shared (no copying); only the
+        execution strategy changes.  Used by the serving tier's
+        ``backend=`` override and handy for A/B-ing backends in tests.
+        """
+        return LabelingEngine(
+            self.zoo,
+            self.predictor,
+            self.world_config,
+            backend=make_backend(backend, **kwargs),
+            batch_size=self.batch_size,
+        )
+
     # -- internals -----------------------------------------------------------
 
     def _ephemeral_truth(self) -> GroundTruth:

@@ -55,6 +55,9 @@ class QAgent:
             raise ValueError("gamma must be in [0, 1)")
         self.obs_dim = obs_dim
         self.n_actions = n_actions
+        #: Kept so the agent can be rebuilt from (algo, dims, state_dict) in
+        #: another process — the multi-process backend's snapshot path.
+        self.hidden_size = hidden_size
         self.gamma = gamma
         self._rng = np.random.default_rng(seed)
         net_rng = np.random.default_rng(seed + 1)

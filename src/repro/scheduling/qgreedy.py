@@ -13,6 +13,7 @@ use an oracle predictor to isolate scheduler behaviour from agent quality.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 
 import numpy as np
@@ -62,22 +63,61 @@ class AgentPredictor(QValuePredictor):
 
 
 class OraclePredictor(QValuePredictor):
-    """Cheating predictor returning true marginal gains (tests/upper bounds)."""
+    """Cheating predictor returning true marginal gains (tests/upper bounds).
+
+    Gains are computed against a cached per-item dense matrix ``V`` of
+    shape ``(n_models, n_labels)`` holding each model's valuable
+    confidences (zero elsewhere): the gain of model ``j`` given the
+    current best-confidence vector ``c`` is ``max(V[j] - c, 0).sum()`` —
+    exactly :func:`~repro.core.evaluation.marginal_gain`, but one numpy
+    expression over all models instead of a Python loop per model, and
+    the same expression batches over many states in
+    :meth:`predict_batch`.  The matrix cache is bounded (FIFO) so oracle
+    runs over long streams stay in bounded memory, and locked so a
+    shared oracle stays safe on the thread backend (scheduling is
+    otherwise read-only; this cache is the one write path).
+    """
+
+    #: Per-item dense matrices kept before evicting the oldest.
+    CACHE_ITEMS = 512
 
     def __init__(self, truth: GroundTruth, item_id: str | None = None):
         self.truth = truth
         self.item_id = item_id
+        self._gain_matrices: dict[str, np.ndarray] = {}
+        self._cache_lock = threading.Lock()
+
+    def _gain_matrix(self, item_id: str) -> np.ndarray:
+        with self._cache_lock:
+            matrix = self._gain_matrices.get(item_id)
+        if matrix is None:
+            zoo = self.truth.zoo
+            matrix = np.zeros((len(zoo), len(zoo.space)), dtype=np.float64)
+            for index in range(len(zoo)):
+                ids, confs = self.truth.valuable(item_id, index)
+                if len(ids):
+                    np.maximum.at(matrix[index], ids, confs)
+            with self._cache_lock:
+                while len(self._gain_matrices) >= self.CACHE_ITEMS:
+                    self._gain_matrices.pop(
+                        next(iter(self._gain_matrices)), None
+                    )
+                self._gain_matrices[item_id] = matrix
+        return matrix
 
     def predict(self, state: LabelingState) -> np.ndarray:
-        from repro.core.evaluation import marginal_gain
-
         item_id = self.item_id or state.item_id
-        gains = np.zeros(len(self.truth.zoo))
-        for index in range(len(self.truth.zoo)):
-            gains[index] = marginal_gain(
-                self.truth, item_id, state.confidences, index
-            )
-        return gains
+        matrix = self._gain_matrix(item_id)
+        # Entries where V is zero contribute max(0 - c, 0) = 0, so no
+        # valuable-label mask is needed (confidences are non-negative).
+        return np.maximum(matrix - state.confidences, 0.0).sum(axis=1)
+
+    def predict_batch(self, states: Sequence[LabelingState]) -> np.ndarray:
+        stacked = np.stack(
+            [self._gain_matrix(self.item_id or s.item_id) for s in states]
+        )
+        confs = np.stack([s.confidences for s in states])
+        return np.maximum(stacked - confs[:, None, :], 0.0).sum(axis=2)
 
 
 class QGreedyPolicy(OrderingPolicy):

@@ -9,6 +9,12 @@ first — and hands each batch to a pool of worker threads that run the
 engine's batched scheduling path.  That turns per-item request traffic
 into the large stacked-forward batches the engine needs for throughput,
 while ``max_wait`` caps how long any request waits for batch-mates.
+Event-loop clients use :meth:`~LabelingService.submit_async` /
+:meth:`~LabelingService.submit_many_async` — the same futures wrapped
+with :func:`asyncio.wrap_future` — and ``backend="process"`` moves the
+CPU-bound scheduling phase into worker processes (the GIL otherwise caps
+the whole worker pool near one core) while admission, caching, and truth
+refcounting stay in the parent.
 
 Each request carries a :class:`~repro.spec.LabelingSpec` — its scheduling
 regime, constraints, and priority.  Requests submitted without one inherit
@@ -50,12 +56,14 @@ start/drain/shutdown automatically.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections.abc import Iterable
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.data.datasets import DataItem
+from repro.engine.backends import ExecutionBackend
 from repro.engine.engine import LabelingEngine
 from repro.serving.queue import (
     DeadlineExpired,
@@ -86,6 +94,14 @@ class LabelingService:
     ----------
     engine:
         The engine every worker dispatches batches through.
+    backend:
+        Optional execution-backend override (registry name or instance).
+        The service then runs a sibling engine — same zoo, predictor, and
+        config — on that backend instead of mutating the caller's engine.
+        With ``backend="process"`` the scheduling phase runs in worker
+        *processes* (escaping the GIL) while the queue, result cache, and
+        shared-truth refcounting stay in this parent process; a backend
+        the service constructed itself is closed at :meth:`shutdown`.
     batch_size:
         Flush a forming batch as soon as it holds this many requests.
     max_wait:
@@ -93,6 +109,9 @@ class LabelingService:
         forming, even if underfull.
     workers:
         Engine worker threads; batches from the dispatcher run here.
+        With a process backend these threads only coordinate (submit
+        chunks and block on process futures), so matching ``workers`` to
+        the backend's ``max_workers`` keeps the processes saturated.
     max_depth / overflow:
         Admission-queue backpressure bound and full-queue policy
         (``"block"`` or ``"reject"``), see :class:`RequestQueue`.
@@ -126,6 +145,7 @@ class LabelingService:
         self,
         engine: LabelingEngine,
         *,
+        backend: str | ExecutionBackend | None = None,
         batch_size: int = 32,
         max_wait: float = DEFAULT_MAX_WAIT,
         workers: int = DEFAULT_WORKERS,
@@ -154,7 +174,19 @@ class LabelingService:
             )
         if expiry_interval is not None and expiry_interval < 0:
             raise ValueError("expiry_interval must be non-negative")
+        # Close-at-shutdown applies only to backends the service itself
+        # constructed (a registry name); a caller-built instance may be
+        # shared with other services and stays the caller's to close.
+        self._owns_backend = backend is not None and not isinstance(
+            backend, ExecutionBackend
+        )
+        if backend is not None:
+            engine = engine.with_backend(backend)
         self.engine = engine
+        # Per-worker dispatch: a backend that counts its own workers (the
+        # process pool's per-pid counters) owns the ``workers`` telemetry
+        # map; otherwise the service counts its worker threads.
+        self._backend_counts = hasattr(type(engine.backend), "dispatch_counts")
         self.batch_size = batch_size
         self.max_wait = max_wait
         self.workers = workers
@@ -399,12 +431,77 @@ class LabelingService:
             )
         return futures
 
+    def submit_async(
+        self,
+        item: DataItem,
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> asyncio.Future:
+        """:meth:`submit` for event-loop clients: returns an awaitable.
+
+        The returned :class:`asyncio.Future` resolves to the request's
+        :class:`~repro.engine.results.LabelingResult` (or raises its
+        admission/serving error) on the event loop that called this
+        method — a thin :func:`asyncio.wrap_future` over the same
+        queue/cache machinery, which is front-end-agnostic.  Must be
+        called with a running event loop (i.e. from a coroutine).
+
+        Admission itself still happens synchronously on the calling
+        thread: under ``overflow="block"`` a full queue blocks the event
+        loop for up to ``timeout``.  Loop-sensitive callers should prefer
+        ``overflow="reject"`` (and retry on :class:`QueueFull`) or wrap
+        the call in ``loop.run_in_executor``.
+        """
+        return asyncio.wrap_future(
+            self.submit(
+                item, spec, priority=priority, deadline=deadline, timeout=timeout
+            )
+        )
+
+    def submit_many_async(
+        self,
+        items: Iterable[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> list[asyncio.Future]:
+        """:meth:`submit_many` returning awaitables, input-ordered.
+
+        Bulk admission runs synchronously (one queue round, like
+        :meth:`submit_many`); each returned awaitable then resolves on the
+        calling event loop.  Per-item admission failures surface when the
+        corresponding future is awaited, so ``asyncio.gather(...,
+        return_exceptions=True)`` sees the complete picture.
+        """
+        return [
+            asyncio.wrap_future(future)
+            for future in self.submit_many(
+                items, spec, priority=priority, deadline=deadline, timeout=timeout
+            )
+        ]
+
     def snapshot(self) -> TelemetrySnapshot:
-        """Telemetry snapshot including live queue depth and in-flight count."""
+        """Telemetry snapshot including live queue depth and in-flight count.
+
+        The ``workers`` map shows items per scheduling worker: per worker
+        *process* (``pid<n>``) when the backend is a process pool, per
+        service worker thread otherwise.
+        """
         with self._state:
             in_flight = self._in_flight
+        extra = None
+        if self._backend_counts:
+            extra = {
+                f"pid{pid}": count
+                for pid, count in self.engine.backend.dispatch_counts.items()
+            }
         return self.telemetry.snapshot(
-            queue_depth=self.queue.depth, in_flight=in_flight
+            queue_depth=self.queue.depth, in_flight=in_flight, extra_workers=extra
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -467,6 +564,8 @@ class LabelingService:
             self._reaper.join()
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
+        if self._owns_backend:
+            self.engine.backend.close()
         for request in leftovers:
             self.telemetry.count("cancelled")
             self._resolve(request, error=ServiceStopped("service shut down"))
@@ -589,6 +688,10 @@ class LabelingService:
     def _process_batch(self, batch: list[LabelingRequest]) -> None:
         started = self._clock()
         spec = batch[0].spec or self.default_spec
+        if not self._backend_counts:
+            self.telemetry.observe_dispatch(
+                threading.current_thread().name, len(batch)
+            )
         try:
             results = self._label_batch([request.item for request in batch], spec)
         except BaseException as exc:  # propagate to every caller, keep serving

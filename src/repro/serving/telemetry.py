@@ -136,6 +136,10 @@ class TelemetrySnapshot:
     #: Items dispatched per scheduling regime (qgreedy/deadline/…); only
     #: regimes that saw traffic appear.
     regimes: dict[str, int] = field(default_factory=dict)
+    #: Items dispatched per worker (thread name, or ``pid<n>`` for the
+    #: process backend's scheduling workers); only workers that saw
+    #: traffic appear.
+    workers: dict[str, int] = field(default_factory=dict)
     #: Requests waiting in the admission queue right now.
     queue_depth: int = 0
     #: Requests inside worker batches right now.
@@ -188,6 +192,11 @@ class TelemetrySnapshot:
                 f"{regime} {count}" for regime, count in sorted(self.regimes.items())
             )
             lines.append(f"  regimes     {per_regime}")
+        if self.workers:
+            per_worker = "  ".join(
+                f"{worker} {count}" for worker, count in sorted(self.workers.items())
+            )
+            lines.append(f"  workers     {per_worker}")
         lines += [
             f"  queue wait  {self.queue_wait.format()}",
             f"  service     {self.service_time.format()}",
@@ -217,6 +226,7 @@ class ServiceTelemetry:
         self._flushes = {reason: 0 for reason in FLUSH_REASONS}
         self._batched_items = 0
         self._regimes: dict[str, int] = {}
+        self._workers: dict[str, int] = {}
         self._queue_wait = LatencyHistogram(self._capacity, seed=1)
         self._service_time = LatencyHistogram(self._capacity, seed=2)
 
@@ -244,14 +254,33 @@ class ServiceTelemetry:
             if regime is not None:
                 self._regimes[regime] = self._regimes.get(regime, 0) + size
 
-    def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> TelemetrySnapshot:
+    def observe_dispatch(self, worker: str, size: int) -> None:
+        """Record that ``worker`` (a thread or process label) ran ``size``
+        items — the per-worker dispatch counter behind the snapshot's
+        ``workers`` map."""
         with self._lock:
+            self._workers[worker] = self._workers.get(worker, 0) + size
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        in_flight: int = 0,
+        extra_workers: dict[str, int] | None = None,
+    ) -> TelemetrySnapshot:
+        """Point-in-time snapshot.  ``extra_workers`` merges externally
+        tracked per-worker counters (the process backend's per-pid
+        dispatch counts) into the ``workers`` map."""
+        with self._lock:
+            workers = dict(self._workers)
+            for worker, count in (extra_workers or {}).items():
+                workers[worker] = workers.get(worker, 0) + count
             return TelemetrySnapshot(
                 elapsed=self._clock() - self._started_at,
                 counters=dict(self._counters),
                 flushes=dict(self._flushes),
                 batched_items=self._batched_items,
                 regimes=dict(self._regimes),
+                workers=workers,
                 queue_depth=queue_depth,
                 in_flight=in_flight,
                 queue_wait=self._queue_wait.stats(),

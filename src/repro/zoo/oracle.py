@@ -114,6 +114,51 @@ class GroundTruth:
         self.add_items(items)
         return [self._records[item.item_id] for item in items]
 
+    def adopt(self, records: Iterable[ItemRecord]) -> list[str]:
+        """Install pre-computed records without executing any model.
+
+        This is the pickling surface behind multi-process scheduling: a
+        parent process records items once, ships the :class:`ItemRecord`
+        shards to workers, and each worker adopts them into its own cache
+        (idempotent per item id, like :meth:`add_items`).  Records must
+        have been produced against a zoo of the same size; value semantics
+        additionally assume the same valuable-confidence threshold, which
+        holds whenever parent and worker share a ``WorldConfig``.
+
+        Returns the ids actually adopted by this call so callers can later
+        :meth:`release_many` exactly what they introduced.
+        """
+        added: list[str] = []
+        for record in records:
+            item_id = record.item.item_id
+            if item_id in self._records:
+                continue
+            if len(record.outputs) != len(self.zoo):
+                raise ValueError(
+                    f"record for {item_id!r} covers {len(record.outputs)} "
+                    f"models but the zoo has {len(self.zoo)}"
+                )
+            self._records[item_id] = record
+            added.append(item_id)
+        return added
+
+    def records_snapshot(self) -> tuple[ItemRecord, ...]:
+        """The current records as an immutable (picklable) tuple.
+
+        Safe against concurrent record/release from other threads (the
+        serving tier snapshots a shared truth while worker threads are
+        recording): on CPython the tuple copy is atomic under the GIL,
+        and the retry covers interpreters where a concurrent resize can
+        surface mid-iteration.  Records are immutable, so any completed
+        copy is a consistent snapshot.
+        """
+        while True:
+            try:
+                return tuple(self._records.values())
+            except RuntimeError:
+                # dict resized during iteration; take a fresh copy
+                continue
+
     # -- eviction ---------------------------------------------------------------
 
     def release(self, item_id: str) -> bool:

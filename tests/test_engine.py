@@ -11,6 +11,7 @@ from repro.engine import (
     LabelingEngine,
     LabelingJob,
     LabelingSpec,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     make_backend,
@@ -221,10 +222,11 @@ class TestRecordLifecycle:
 
 class TestEngineApi:
     def test_make_backend_registry(self):
-        assert set(BACKEND_REGISTRY) == {"serial", "batched", "thread"}
+        assert set(BACKEND_REGISTRY) == {"serial", "batched", "thread", "process"}
         assert isinstance(make_backend("serial"), SerialBackend)
         assert isinstance(make_backend("batched"), BatchedBackend)
         assert isinstance(make_backend("thread"), ThreadPoolBackend)
+        assert isinstance(make_backend("process"), ProcessPoolBackend)
         backend = ThreadPoolBackend(max_workers=2)
         assert make_backend(backend) is backend
         with pytest.raises(ValueError, match="unknown backend"):

@@ -351,6 +351,24 @@ class TestTelemetry:
         assert service_time.p99 > 0
         assert "items/sec" in snapshot.format()
 
+    def test_worker_threads_appear_in_dispatch_counters(self, engine, truth, items):
+        # With a thread-dispatched engine the per-worker counters name the
+        # service's worker threads and account for every dispatched item.
+        service = service_for(engine, truth, batch_size=4, max_wait=0.01)
+        with service:
+            [f.result(timeout=10) for f in service.submit_many(items[:12])]
+        snapshot = service.snapshot()
+        assert snapshot.workers
+        assert all(w.startswith("labeling-worker") for w in snapshot.workers)
+        assert sum(snapshot.workers.values()) == 12
+        assert "workers" in snapshot.format()
+
+    def test_extra_workers_merge_into_snapshot(self):
+        telemetry = ServiceTelemetry()
+        telemetry.observe_dispatch("pid1", 3)
+        snapshot = telemetry.snapshot(extra_workers={"pid1": 2, "pid2": 5})
+        assert snapshot.workers == {"pid1": 5, "pid2": 5}
+
     def test_reset_zeroes_counters(self):
         telemetry = ServiceTelemetry()
         telemetry.count("completed", 3)
