@@ -2,7 +2,9 @@
 
 These are true pytest-benchmark timings (many rounds): the ground-truth
 replay step, Algorithm 1 scheduling of one item, Algorithm 2 scheduling of
-one item, and a full Q-greedy rollout.
+one item, a full Q-greedy rollout, and the dispatch tick — a 16-item
+batch scheduled via the per-item serial loop vs the vectorized
+``schedule_batch`` (one stacked forward + masked argmax per round).
 """
 
 from conftest import shared_context
@@ -50,3 +52,35 @@ def test_qgreedy_full_rollout(benchmark):
     _, truth, item_id, predictor = _setup()
     policy = QGreedyPolicy(predictor)
     benchmark(lambda: run_ordering_policy(policy, truth, item_id))
+
+
+def _batch_setup(n_items: int = 16):
+    ctx = shared_context()
+    truth = ctx.ensure_truth("mscoco2017")
+    ids = ctx.eval_ids("mscoco2017", n_items)
+    predictor = ctx.predictor("mscoco2017", "dueling_dqn")
+    return truth, ids, predictor
+
+
+def test_algorithm1_serial_loop_batch16(benchmark):
+    truth, ids, predictor = _batch_setup()
+    scheduler = CostQGreedyScheduler(predictor)
+    benchmark(lambda: [scheduler.schedule(truth, i, 1.0) for i in ids])
+
+
+def test_algorithm1_dispatch_tick_batch16(benchmark):
+    truth, ids, predictor = _batch_setup()
+    scheduler = CostQGreedyScheduler(predictor)
+    benchmark(lambda: scheduler.schedule_batch(truth, ids, 1.0))
+
+
+def test_algorithm2_serial_loop_batch16(benchmark):
+    truth, ids, predictor = _batch_setup()
+    scheduler = MemoryDeadlineScheduler(predictor)
+    benchmark(lambda: [scheduler.schedule(truth, i, 1.0, 12000.0) for i in ids])
+
+
+def test_algorithm2_dispatch_tick_batch16(benchmark):
+    truth, ids, predictor = _batch_setup()
+    scheduler = MemoryDeadlineScheduler(predictor)
+    benchmark(lambda: scheduler.schedule_batch(truth, ids, 1.0, 12000.0))

@@ -71,12 +71,17 @@ def items_per_second(
     engine = LabelingEngine(
         zoo, predictor, config, backend=backend, batch_size=batch_size
     )
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        engine.label_batch(items, deadline=deadline, truth=truth)
-        best = min(best, time.perf_counter() - start)
-    return len(items) / best
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.label_batch(items, deadline=deadline, truth=truth)
+            best = min(best, time.perf_counter() - start)
+        return len(items) / best
+    finally:
+        close = getattr(engine.backend, "close", None)
+        if close is not None:
+            close()
 
 
 # -- pytest-benchmark entry points ------------------------------------------

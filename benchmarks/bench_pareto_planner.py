@@ -1,0 +1,162 @@
+"""Offline Pareto planner vs the RL scheduler: per-budget optimality gap.
+
+:class:`~repro.scheduling.optimal.ParetoPlanner` computes, per item and
+per time budget, the *exact* best model subset under the max-confidence
+union value — the attainable optimum, unlike the fractional optimal*
+bound of §V-C.  Sweeping budgets traces the exact cost/recall Pareto
+frontier; comparing the trained cost-Q greedy scheduler (Algorithm 1)
+against it turns "how good is the RL scheduler" into a true per-budget
+regret instead of a bound-relative ratio.
+
+The report JSON carries, per budget: the planner's mean recall
+(``optimal``), the RL scheduler's mean deadline recall (``rl``), the
+oracle-predictor cost-Q recall (``oracle`` — isolates agent quality from
+the greedy rule), the fractional optimal* bound (sanity:
+``optimal <= optimal_star``), and the gaps ``(optimal - rl) / optimal``.
+
+Run standalone (CI smoke uses the tiny world)::
+
+    PYTHONPATH=src python benchmarks/bench_pareto_planner.py --scale smoke \
+        --json BENCH_pareto_planner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import smoke_scale
+from repro.data.datasets import generate_dataset, train_test_split
+from repro.labels import build_label_space
+from repro.rl.training import train_agent
+from repro.scheduling.deadline import CostQGreedyScheduler, RelaxedOptimalDeadline
+from repro.scheduling.optimal import ParetoPlanner
+from repro.scheduling.qgreedy import AgentPredictor, OraclePredictor
+from repro.zoo.builder import build_zoo
+from repro.zoo.oracle import GroundTruth
+
+#: Budget grid (seconds) — spans starved to near-exhaustive on both scales.
+BUDGETS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def build_world(scale: str, n_items: int):
+    del scale  # one scale today; the knob keeps the CLI stable if that grows
+    config = smoke_scale().world
+    space = build_label_space(config.vocab_scale)
+    zoo = build_zoo(config, space)
+    dataset = generate_dataset(space, config, "mscoco2017", n_items)
+    truth = GroundTruth(zoo, dataset, config)
+    return config, zoo, dataset, truth
+
+
+def run(scale: str, n_items: int, budgets=BUDGETS) -> dict:
+    config, zoo, dataset, truth = build_world(scale, n_items)
+    train, test = train_test_split(dataset, seed=0)
+    result = train_agent(
+        "dueling_dqn",
+        truth,
+        [item.item_id for item in train],
+        smoke_scale().train,
+    )
+    rl = CostQGreedyScheduler(AgentPredictor(result.agent, len(zoo)))
+    oracle = CostQGreedyScheduler(OraclePredictor(truth))
+    planner = ParetoPlanner()
+    star = RelaxedOptimalDeadline()
+    eval_ids = [item.item_id for item in test]
+
+    rows = []
+    for budget in budgets:
+        sums = {"optimal": 0.0, "rl": 0.0, "oracle": 0.0, "optimal_star": 0.0}
+        nodes = 0
+        started = time.perf_counter()
+        for item_id in eval_ids:
+            total = truth.total_value(item_id)
+            plan = planner.plan(truth, item_id, budget)
+            nodes += plan.nodes
+            sums["optimal"] += plan.recall(total)
+            sums["rl"] += rl.schedule(truth, item_id, budget).recall_by(budget)
+            sums["oracle"] += oracle.schedule(truth, item_id, budget).recall_by(
+                budget
+            )
+            sums["optimal_star"] += star.recall(truth, item_id, budget)
+        n = len(eval_ids)
+        means = {name: value / n for name, value in sums.items()}
+        if means["optimal"] > means["optimal_star"] + 1e-9:
+            raise AssertionError(
+                f"exact optimum {means['optimal']:.4f} exceeds the optimal* "
+                f"bound {means['optimal_star']:.4f} at budget {budget}"
+            )
+        gap = (
+            (means["optimal"] - means["rl"]) / means["optimal"]
+            if means["optimal"] > 0
+            else 0.0
+        )
+        oracle_gap = (
+            (means["optimal"] - means["oracle"]) / means["optimal"]
+            if means["optimal"] > 0
+            else 0.0
+        )
+        rows.append(
+            {
+                "budget_s": budget,
+                **{name: round(value, 4) for name, value in means.items()},
+                "rl_gap": round(gap, 4),
+                "oracle_gap": round(oracle_gap, 4),
+                "bnb_nodes": nodes,
+                "planner_seconds": round(time.perf_counter() - started, 3),
+            }
+        )
+    return {
+        "bench": "pareto_planner",
+        "scale": scale,
+        "n_eval_items": len(eval_ids),
+        "n_models": len(zoo),
+        "budgets": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("smoke",), default="smoke")
+    parser.add_argument("--items", type=int, default=120)
+    parser.add_argument("--json", help="write the report to this path")
+    parser.add_argument(
+        "--max-oracle-gap",
+        type=float,
+        default=None,
+        help="fail if the oracle-predictor gap to the exact optimum exceeds "
+        "this at any budget (greedy-rule quality bar)",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.scale, args.items)
+
+    header = f"{'budget':>7} {'optimal':>8} {'rl':>7} {'oracle':>7} " \
+             f"{'star':>7} {'rl_gap':>7} {'nodes':>8}"
+    print(header)
+    for row in report["budgets"]:
+        print(
+            f"{row['budget_s']:>7.2f} {row['optimal']:>8.3f} {row['rl']:>7.3f} "
+            f"{row['oracle']:>7.3f} {row['optimal_star']:>7.3f} "
+            f"{row['rl_gap']:>7.3f} {row['bnb_nodes']:>8}"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.max_oracle_gap is not None:
+        worst = max(row["oracle_gap"] for row in report["budgets"])
+        if worst > args.max_oracle_gap:
+            print(
+                f"FAIL: oracle cost-Q gap {worst:.3f} exceeds "
+                f"--max-oracle-gap {args.max_oracle_gap}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"oracle gap {worst:.3f} <= {args.max_oracle_gap} (ok)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

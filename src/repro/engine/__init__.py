@@ -15,10 +15,12 @@ from repro.engine.backends import (
     LabelingJob,
     ProcessPoolBackend,
     SerialBackend,
+    ShmPayload,
     ThreadPoolBackend,
     make_backend,
     schedule_one_item,
 )
+from repro.engine.shm import RingSpec, SlotRing
 from repro.engine.snapshot import WorldSnapshot
 from repro.engine.engine import DEFAULT_BATCH_SIZE, LabelingEngine
 from repro.engine.results import LabelingResult, result_from_trace
@@ -34,7 +36,10 @@ __all__ = [
     "LabelingResult",
     "LabelingSpec",
     "ProcessPoolBackend",
+    "RingSpec",
     "SerialBackend",
+    "ShmPayload",
+    "SlotRing",
     "ThreadPoolBackend",
     "WorldSnapshot",
     "make_backend",

@@ -1,0 +1,434 @@
+"""Zero-copy shared-memory transport for multi-process scheduling.
+
+The :class:`~repro.engine.backends.ProcessPoolBackend` ships two payload
+kinds between the parent and its workers: *chunk deltas* (the
+:class:`~repro.zoo.oracle.ItemRecord` shards recorded after the worker's
+world snapshot) going down, and *trace shards*
+(:class:`~repro.scheduling.base.ScheduleTrace` lists) coming back.  Both
+are numeric at heart — id/conf arrays, per-execution rows — yet the
+pickle path copies them twice per hop (serialize + deserialize) and once
+more through the pipe.  This module keeps those payloads in
+:mod:`multiprocessing.shared_memory` instead:
+
+* :class:`SlotRing` — one shared block divided into fixed-size slots
+  with a byte of state each.  The parent creates a *delta* ring it
+  writes and workers read, and a *result* ring workers write and the
+  parent reads.  Only a tiny ``(slot, length)`` descriptor crosses the
+  pipe; the payload itself is written once and read in place.
+* :func:`encode_records` / :func:`decode_records` — a compact
+  fixed-dtype layout for the *scheduling surface* of an
+  :class:`ItemRecord` (valuable ids/confs, solo values, best
+  confidences, total value).  Decoding builds numpy views directly into
+  the shared block — no per-array copies — with stub item content and
+  empty outputs: workers only schedule against the record cache, they
+  never execute models on shipped items.
+* :func:`encode_traces` / :func:`decode_traces` — per-trace headers plus
+  one structured row per execution.
+
+Fallback contract: :func:`encode_records` returns ``None`` whenever a
+record is not a plain :class:`ItemRecord` (custom zoos may subclass it
+with extra state the layout cannot carry), and the backend falls back to
+pickle for that chunk — likewise when a payload outgrows its slot or the
+ring is momentarily full.  Correctness never depends on the fast path.
+
+Lifetime contract: arrays produced by :func:`decode_records` alias the
+shared block, so they are valid only while the producing slot is held.
+The backend holds each delta slot until the chunk's future completes and
+workers copy nothing — adopted records live exactly as long as the chunk
+that shipped them (the worker releases them afterwards).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core.output import ModelOutput
+from repro.data.datasets import DataItem
+from repro.scheduling.base import ScheduledExecution, ScheduleTrace
+from repro.zoo.model import ModelZoo
+from repro.zoo.oracle import ItemRecord
+
+#: One structured row per execution in a trace shard.
+EXEC_DTYPE = np.dtype(
+    [
+        ("model", np.int32),
+        ("new_labels", np.int32),
+        ("start", np.float64),
+        ("finish", np.float64),
+        ("marginal", np.float64),
+    ]
+)
+
+#: Per-trace header preceding its execution rows.
+TRACE_HEAD_DTYPE = np.dtype([("total", np.float64), ("n_exec", np.int64)])
+
+_FREE, _HELD = 0, 1
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without registering it for cleanup.
+
+    Only the creating process may own (and eventually unlink) the block.
+    Python 3.13 grew ``track=False`` for exactly this; on earlier
+    interpreters the resource tracker would otherwise unlink the segment
+    when the *worker* exits (cpython#82300), so we unregister manually.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - exercised on Python < 3.13
+        # Suppress registration rather than unregistering afterwards:
+        # the whole process tree shares one tracker, so a worker's
+        # unregister would cancel the parent's (sole, legitimate)
+        # registration and later unregisters would error in the tracker.
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SlotRing:
+    """A ring of fixed-size payload slots inside one shared-memory block.
+
+    Layout: ``[hint u32][state u8 x slots][pad to 8][slot data ...]``.
+    Each slot is either free or held; ``acquire`` scans round-robin from
+    a rotation hint so successive payloads spread across the ring.  The
+    ring itself is not a lock — callers serialize acquirers externally
+    (the backend uses a :class:`threading.Lock` on the parent-owned ring
+    and a ``multiprocessing.Lock`` on the worker-written one).  Releasing
+    is a single byte store and needs no lock.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        slots: int,
+        slot_bytes: int,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._owner = owner
+        self._data_offset = (4 + slots + 7) & ~7
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> SlotRing:
+        if slots <= 0 or slot_bytes <= 0:
+            raise ValueError("slots and slot_bytes must be positive")
+        size = ((4 + slots + 7) & ~7) + slots * slot_bytes
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        ring = cls(shm, slots, slot_bytes, owner=True)
+        shm.buf[: 4 + slots] = bytes(4 + slots)
+        return ring
+
+    @classmethod
+    def attach(
+        cls, name: str, slots: int, slot_bytes: int, untrack: bool = True
+    ) -> SlotRing:
+        """Attach to an existing ring by name.
+
+        ``untrack`` (the default) is for *worker processes*: it keeps the
+        worker's resource tracker from unlinking the parent's segment on
+        worker exit.  Pass ``untrack=False`` when attaching a second
+        handle inside the creating process (tests do) — untracking there
+        would cancel the creator's own registration.
+        """
+        if untrack:
+            return cls(_attach_untracked(name), slots, slot_bytes, owner=False)
+        return cls(
+            shared_memory.SharedMemory(name=name), slots, slot_bytes, owner=False
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def spec(self) -> RingSpec:
+        return RingSpec(self.name, self.slots, self.slot_bytes)
+
+    # -- slot state ----------------------------------------------------------
+
+    def _hint(self) -> int:
+        return struct.unpack_from("<I", self._shm.buf, 0)[0]
+
+    def acquire(self) -> int | None:
+        """Claim the next free slot, or ``None`` when the ring is full.
+
+        Callers must hold the ring's external acquirer lock.
+        """
+        buf = self._shm.buf
+        start = self._hint() % self.slots
+        for step in range(self.slots):
+            slot = (start + step) % self.slots
+            if buf[4 + slot] == _FREE:
+                buf[4 + slot] = _HELD
+                struct.pack_into("<I", buf, 0, (slot + 1) % self.slots)
+                return slot
+        return None
+
+    def release(self, slot: int) -> None:
+        """Free a slot (single byte store; safe cross-process, no lock).
+
+        No-op on a closed ring: a teardown racing a late release (a
+        broken pool being dropped while another thread frees its chunk's
+        slot) must not raise.
+        """
+        buf = self._shm.buf
+        if buf is not None:
+            buf[4 + slot] = _FREE
+
+    def held(self, slot: int) -> bool:
+        return self._shm.buf[4 + slot] == _HELD
+
+    # -- payload -------------------------------------------------------------
+
+    def write(self, slot: int, payload: bytes) -> int:
+        """Copy ``payload`` into a held slot; returns its length."""
+        length = len(payload)
+        if length > self.slot_bytes:
+            raise ValueError(
+                f"payload of {length} bytes exceeds slot size {self.slot_bytes}"
+            )
+        offset = self._data_offset + slot * self.slot_bytes
+        self._shm.buf[offset : offset + length] = payload
+        return length
+
+    def view(self, slot: int, length: int) -> memoryview:
+        """Zero-copy view of a slot's first ``length`` bytes."""
+        if length > self.slot_bytes:
+            raise ValueError(
+                f"requested {length} bytes from a {self.slot_bytes}-byte slot"
+            )
+        offset = self._data_offset + slot * self.slot_bytes
+        return self._shm.buf[offset : offset + length]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - views still alive
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """Picklable handle a worker uses to attach to a parent's ring."""
+
+    name: str
+    slots: int
+    slot_bytes: int
+
+    def attach(self) -> SlotRing:
+        return SlotRing.attach(self.name, self.slots, self.slot_bytes)
+
+
+# -- record codec ------------------------------------------------------------
+#
+# Layout (little-endian; every section is a multiple of 8 bytes, so all
+# numeric views are aligned):
+#
+#   <Q n_items> <Q n_models> <Q n_labels>
+#   per item:
+#     <Q padded_id_len> <Q id_len>  id_bytes (padded to 8)
+#     <d total_value>
+#     solo_values        f64[n_models]
+#     best_confidence    f64[n_labels]
+#     valuable counts    i64[n_models]
+#     valuable ids       i64[sum(counts)]
+#     valuable confs     f64[sum(counts)]
+
+
+def encode_records(records: list[ItemRecord]) -> bytes | None:
+    """Pack records' scheduling surface; ``None`` when they don't conform.
+
+    Non-conforming means any record is not a plain :class:`ItemRecord`
+    (a custom zoo may subclass it with state this layout cannot carry)
+    or the shard is inconsistent in shape; callers fall back to pickle.
+    """
+    if not records:
+        return None
+    first = records[0]
+    n_models = len(first.outputs)
+    n_labels = len(first.best_confidence)
+    for record in records:
+        if type(record) is not ItemRecord:
+            return None
+        if (
+            len(record.outputs) != n_models
+            or len(record.best_confidence) != n_labels
+            or len(record.valuable_ids) != n_models
+        ):
+            return None
+    parts: list[bytes] = [struct.pack("<QQQ", len(records), n_models, n_labels)]
+    for record in records:
+        id_bytes = record.item.item_id.encode("utf-8")
+        pad = (-len(id_bytes)) % 8
+        parts.append(struct.pack("<QQ", len(id_bytes) + pad, len(id_bytes)))
+        parts.append(id_bytes + b"\0" * pad)
+        parts.append(struct.pack("<d", float(record.total_value)))
+        parts.append(
+            np.ascontiguousarray(record.solo_values, dtype=np.float64).tobytes()
+        )
+        parts.append(
+            np.ascontiguousarray(record.best_confidence, dtype=np.float64).tobytes()
+        )
+        counts = np.asarray(
+            [len(ids) for ids in record.valuable_ids], dtype=np.int64
+        )
+        parts.append(counts.tobytes())
+        parts.append(
+            np.concatenate(
+                [np.asarray(a, dtype=np.int64) for a in record.valuable_ids]
+            ).tobytes()
+        )
+        parts.append(
+            np.concatenate(
+                [np.asarray(a, dtype=np.float64) for a in record.valuable_confs]
+            ).tobytes()
+        )
+    return b"".join(parts)
+
+
+def _read_array(
+    buf, dtype: np.dtype, count: int, offset: int
+) -> tuple[np.ndarray, int]:
+    array = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+    array.flags.writeable = False
+    return array, offset + count * dtype.itemsize
+
+
+def decode_records(buf, zoo: ModelZoo) -> list[ItemRecord]:
+    """Rebuild records from :func:`encode_records` bytes, zero-copy.
+
+    All numpy fields are read-only views into ``buf`` (valid only while
+    the producing slot is held — see the module docstring).  ``item``
+    carries no content and ``outputs`` are empty placeholders: shipped
+    records exist to be *scheduled against*, and every consumer on that
+    path (state updates, oracle gains, value accounting) reads only the
+    valuable arrays and aggregates encoded here.
+    """
+    n_items, n_models, n_labels = struct.unpack_from("<QQQ", buf, 0)
+    if n_models != len(zoo) or n_labels != len(zoo.space):
+        raise ValueError(
+            f"shard encoded for {n_models} models / {n_labels} labels but the "
+            f"zoo has {len(zoo)} / {len(zoo.space)}"
+        )
+    names = zoo.names
+    offset = 24
+    records: list[ItemRecord] = []
+    for _ in range(n_items):
+        padded, id_len = struct.unpack_from("<QQ", buf, offset)
+        offset += 16
+        item_id = bytes(buf[offset : offset + id_len]).decode("utf-8")
+        offset += padded
+        (total_value,) = struct.unpack_from("<d", buf, offset)
+        offset += 8
+        solo, offset = _read_array(buf, np.dtype(np.float64), n_models, offset)
+        best, offset = _read_array(buf, np.dtype(np.float64), n_labels, offset)
+        counts, offset = _read_array(buf, np.dtype(np.int64), n_models, offset)
+        total_count = int(counts.sum())
+        ids, offset = _read_array(buf, np.dtype(np.int64), total_count, offset)
+        confs, offset = _read_array(
+            buf, np.dtype(np.float64), total_count, offset
+        )
+        splits = np.cumsum(counts)[:-1]
+        dataset = item_id.split("/", 1)[0]
+        records.append(
+            ItemRecord(
+                item=DataItem(
+                    item_id=item_id, dataset=dataset, index=-1, content=None
+                ),
+                outputs=tuple(
+                    ModelOutput(model=name, item_id=item_id, labels=())
+                    for name in names
+                ),
+                valuable_ids=tuple(np.split(ids, splits)),
+                valuable_confs=tuple(np.split(confs, splits)),
+                solo_values=solo,
+                best_confidence=best,
+                total_value=float(total_value),
+            )
+        )
+    return records
+
+
+# -- trace codec -------------------------------------------------------------
+
+
+def encode_traces(traces: list[ScheduleTrace]) -> bytes:
+    """Pack traces as ``<Q n>`` + headers + execution rows.
+
+    Item ids are *not* encoded: the parent knows the chunk's ordered ids
+    and reattaches them (plus model names) on decode.
+    """
+    n = len(traces)
+    heads = np.empty(n, dtype=TRACE_HEAD_DTYPE)
+    rows = np.empty(
+        sum(len(t.executions) for t in traces), dtype=EXEC_DTYPE
+    )
+    cursor = 0
+    for i, trace in enumerate(traces):
+        heads[i] = (trace.total_value, len(trace.executions))
+        for execution in trace.executions:
+            rows[cursor] = (
+                execution.model_index,
+                execution.new_labels,
+                execution.start_time,
+                execution.finish_time,
+                execution.marginal_value,
+            )
+            cursor += 1
+    return struct.pack("<Q", n) + heads.tobytes() + rows.tobytes()
+
+
+def decode_traces(
+    buf, item_ids: list[str], model_names: tuple[str, ...]
+) -> list[ScheduleTrace]:
+    """Rebuild traces, pairing them positionally with ``item_ids``."""
+    (n,) = struct.unpack_from("<Q", buf, 0)
+    if n != len(item_ids):
+        raise ValueError(
+            f"shard holds {n} traces but {len(item_ids)} item ids were given"
+        )
+    offset = 8
+    heads = np.frombuffer(buf, dtype=TRACE_HEAD_DTYPE, count=n, offset=offset)
+    offset += heads.nbytes
+    total_rows = int(heads["n_exec"].sum())
+    rows = np.frombuffer(buf, dtype=EXEC_DTYPE, count=total_rows, offset=offset)
+    traces: list[ScheduleTrace] = []
+    cursor = 0
+    for i, item_id in enumerate(item_ids):
+        trace = ScheduleTrace(
+            item_id=item_id, total_value=float(heads["total"][i])
+        )
+        for _ in range(int(heads["n_exec"][i])):
+            row = rows[cursor]
+            cursor += 1
+            model_index = int(row["model"])
+            trace.executions.append(
+                ScheduledExecution(
+                    model_index=model_index,
+                    model_name=model_names[model_index],
+                    start_time=float(row["start"]),
+                    finish_time=float(row["finish"]),
+                    marginal_value=float(row["marginal"]),
+                    new_labels=int(row["new_labels"]),
+                )
+            )
+        traces.append(trace)
+    return traces

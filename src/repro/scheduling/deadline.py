@@ -13,6 +13,8 @@ upper bound of §V-C (fractional last model).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.evaluation import marginal_gain
@@ -27,7 +29,14 @@ from repro.zoo.oracle import GroundTruth
 
 
 class CostQGreedyScheduler:
-    """Algorithm 1: cost-Q greedy scheduling under a deadline."""
+    """Algorithm 1: cost-Q greedy scheduling under a deadline.
+
+    :meth:`schedule` is the serial reference (one item, one prediction
+    per step); :meth:`schedule_batch` is the vectorized dispatch tick the
+    engine backends use — one stacked prediction and one masked-argmax
+    selection per round across every in-flight item, trace-identical per
+    item.
+    """
 
     name = "cost_q_greedy"
 
@@ -56,6 +65,64 @@ class CostQGreedyScheduler:
             clock = execute_serially(state, trace, truth, best, clock)
             budget -= float(times[best])
         return trace
+
+    def schedule_batch(
+        self,
+        truth: GroundTruth,
+        item_ids: Sequence[str],
+        time_budget: float,
+    ) -> list[ScheduleTrace]:
+        """Algorithm 1 over many items in vectorized lock-step rounds.
+
+        Each round issues **one** ``predict_batch`` call for every
+        in-flight item and selects per item by masking the
+        ``(B, n_models)`` ratio matrix ``Q / time`` with the combined
+        remaining+affordability boolean mask and taking a row-wise
+        argmax.  Ratios are the same elementwise divisions the serial
+        loop computes on its affordable subset and ``argmax`` keeps
+        first-index tie-breaking, so per-item traces replay
+        :meth:`schedule` exactly (stacked-forward ULP caveat aside, see
+        :class:`~repro.engine.backends.BatchedBackend`).  An item leaves
+        the batch when its serial stop condition fires: budget spent, no
+        affordable model left, or all models executed.
+        """
+        if time_budget < 0:
+            raise ValueError("time_budget must be non-negative")
+        times = truth.zoo.times
+        states = [LabelingState(truth, item_id) for item_id in item_ids]
+        traces = [
+            ScheduleTrace(item_id=item_id, total_value=truth.total_value(item_id))
+            for item_id in item_ids
+        ]
+        clocks = [0.0] * len(states)
+        budgets = np.full(len(states), float(time_budget))
+        active = [
+            i
+            for i, s in enumerate(states)
+            if budgets[i] > 0 and not s.all_executed
+        ]
+        while active:
+            q_batch = self.predictor.predict_batch([states[i] for i in active])
+            executed = np.stack([states[i].executed for i in active])
+            affordable = times[None, :] <= budgets[active, None] + TOLERANCE
+            mask = ~executed & affordable
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(mask, q_batch / times[None, :], -np.inf)
+            picks = np.argmax(ratios, axis=1)
+            selectable = mask.any(axis=1)
+            still_active = []
+            for row, i in enumerate(active):
+                if not selectable[row]:
+                    continue
+                best = int(picks[row])
+                clocks[i] = execute_serially(
+                    states[i], traces[i], truth, best, clocks[i]
+                )
+                budgets[i] -= float(times[best])
+                if budgets[i] > 0 and not states[i].all_executed:
+                    still_active.append(i)
+            active = still_active
+        return traces
 
 
 class QGreedyDeadlineScheduler:

@@ -20,6 +20,7 @@ towards the value (recall) metrics.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,14 +57,19 @@ class _ParallelSim:
         self.started: set[int] = set()
 
     @property
-    def startable(self) -> np.ndarray:
-        """Models neither finished nor currently running."""
+    def startable_mask(self) -> np.ndarray:
+        """Boolean mask of models neither finished nor currently running."""
         pending = ~self.state.executed
         for running in self.heap:
             pending[running.model_index] = False
         for started in self.started:
             pending[started] = False
-        return np.nonzero(pending)[0]
+        return pending
+
+    @property
+    def startable(self) -> np.ndarray:
+        """Models neither finished nor currently running (indices)."""
+        return np.nonzero(self.startable_mask)[0]
 
     def start(self, index: int) -> None:
         model = self.truth.zoo[index]
@@ -100,12 +106,48 @@ class _ParallelSim:
 
 
 class MemoryDeadlineScheduler:
-    """Algorithm 2: the two-dimension cost-Q heuristic."""
+    """Algorithm 2: the two-dimension cost-Q heuristic.
+
+    :meth:`schedule` is the serial reference; :meth:`schedule_batch`
+    vectorizes the greedy core across items — one stacked prediction per
+    simulation round and a masked-argmax pivot selection over the
+    ``(B, n_models)`` score matrix — while the per-item memory-packing
+    fill loop stays sequential (each fill changes that item's free
+    memory).  Traces are identical per item.
+    """
 
     name = "memory_deadline"
 
     def __init__(self, predictor: QValuePredictor):
         self.predictor = predictor
+
+    def _fill(
+        self,
+        sim: _ParallelSim,
+        q: np.ndarray,
+        times: np.ndarray,
+        mems: np.ndarray,
+        fill_deadlines: tuple[float, float],
+    ) -> None:
+        """The memory-packing fill passes shared by both schedule paths.
+
+        Fill remaining memory: best value per unit memory among models
+        finishing within the temporary (pivot) deadline (Algorithm 2
+        line 7), then — refinement over the pseudocode — a second pass
+        bounded by the global deadline, so leftover memory is not idled
+        when only longer-than-pivot models remain.
+        """
+        for fill_deadline in fill_deadlines:
+            while True:
+                candidates = sim.startable
+                fill = candidates[
+                    (mems[candidates] <= sim.free_mem + 1e-9)
+                    & (sim.clock + times[candidates] <= fill_deadline + 1e-9)
+                ]
+                if len(fill) == 0:
+                    break
+                chosen = int(fill[np.argmax(q[fill] / mems[fill])])
+                sim.start(chosen)
 
     def schedule(
         self,
@@ -141,25 +183,7 @@ class MemoryDeadlineScheduler:
                 pivot = int(fits[np.argmax(q[fits] / areas)])
                 sim.start(pivot)
                 temp_deadline = sim.clock + float(times[pivot])
-                # Fill remaining memory: best value per unit memory among
-                # models finishing within the temporary deadline (line 7),
-                # then — refinement over the pseudocode — a second pass
-                # bounded by the global deadline, so leftover memory is not
-                # idled when only longer-than-pivot models remain.
-                for fill_deadline in (temp_deadline, time_budget):
-                    while True:
-                        candidates = sim.startable
-                        fill = candidates[
-                            (mems[candidates] <= sim.free_mem + 1e-9)
-                            & (
-                                sim.clock + times[candidates]
-                                <= fill_deadline + 1e-9
-                            )
-                        ]
-                        if len(fill) == 0:
-                            break
-                        chosen = int(fill[np.argmax(q[fill] / mems[fill])])
-                        sim.start(chosen)
+                self._fill(sim, q, times, mems, (temp_deadline, time_budget))
             if not sim.heap:
                 break
             # Wait for one completion; its output updates the state.
@@ -170,6 +194,87 @@ class MemoryDeadlineScheduler:
         while sim.heap:
             sim.finish_next()
         return sim.trace
+
+    def schedule_batch(
+        self,
+        truth: GroundTruth,
+        item_ids: Sequence[str],
+        time_budget: float,
+        memory_budget: float,
+    ) -> list[ScheduleTrace]:
+        """Algorithm 2 over many items in vectorized lock-step rounds.
+
+        Round ``k`` of the batch is iteration ``k`` of each item's serial
+        simulation loop (each iteration starts a pivot wave and retires
+        one completion), so the stacked states predicted each round are
+        exactly the states the serial loop would have predicted on —
+        **one** ``predict_batch`` call per round instead of one
+        ``predict`` per item per round.  Pivot selection is a masked
+        argmax over the ``(B, n_models)`` matrix ``Q / (time × mem)``
+        with the combined startable/memory-fit/deadline-fit boolean
+        mask; the fill passes then replay serially per item (each start
+        consumes that item's free memory).  An item leaves the batch when
+        its serial loop would exit; its still-running models drain
+        exactly as in :meth:`schedule`.
+        """
+        if time_budget < 0 or memory_budget < 0:
+            raise ValueError("budgets must be non-negative")
+        times = truth.zoo.times
+        mems = truth.zoo.mems
+        areas = times * mems
+        sims = [_ParallelSim(truth, item_id, memory_budget) for item_id in item_ids]
+
+        def continues(sim: _ParallelSim) -> bool:
+            """The serial loop's entry condition (top-of-loop checks)."""
+            if not sim.clock < time_budget:
+                return False
+            return bool(sim.startable_mask.any()) or bool(sim.heap)
+
+        active = [i for i, sim in enumerate(sims) if continues(sim)]
+        while active:
+            q_batch = self.predictor.predict_batch(
+                [sims[i].state for i in active]
+            )
+            startable = np.stack([sims[i].startable_mask for i in active])
+            free = np.asarray([sims[i].free_mem for i in active])
+            clocks = np.asarray([sims[i].clock for i in active])
+            # Pivot: best value per unit (time x memory) area among models
+            # that fit free memory and can still finish before the deadline
+            # — the same filter as the serial loop, as (B, n_models) masks.
+            fits = (
+                startable
+                & (mems[None, :] <= free[:, None] + 1e-9)
+                & (clocks[:, None] + times[None, :] <= time_budget + 1e-9)
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scores = np.where(fits, q_batch / areas[None, :], -np.inf)
+            pivots = np.argmax(scores, axis=1)
+            has_pivot = fits.any(axis=1)
+            still_active = []
+            for row, i in enumerate(active):
+                sim = sims[i]
+                if has_pivot[row]:
+                    pivot = int(pivots[row])
+                    sim.start(pivot)
+                    temp_deadline = sim.clock + float(times[pivot])
+                    self._fill(
+                        sim,
+                        q_batch[row],
+                        times,
+                        mems,
+                        (temp_deadline, time_budget),
+                    )
+                if not sim.heap:
+                    continue
+                sim.finish_next()
+                if continues(sim):
+                    still_active.append(i)
+            active = still_active
+
+        for sim in sims:
+            while sim.heap:
+                sim.finish_next()
+        return [sim.trace for sim in sims]
 
 
 class RandomMemoryDeadlineScheduler:

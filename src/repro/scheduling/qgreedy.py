@@ -14,13 +14,18 @@ use an oracle predictor to isolate scheduler behaviour from agent quality.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.state import LabelingState
 from repro.rl.agents import QAgent
-from repro.scheduling.base import OrderingPolicy
+from repro.scheduling.base import (
+    OrderingPolicy,
+    ScheduleTrace,
+    execute_serially,
+)
 from repro.zoo.oracle import GroundTruth
 
 
@@ -72,25 +77,49 @@ class OraclePredictor(QValuePredictor):
     exactly :func:`~repro.core.evaluation.marginal_gain`, but one numpy
     expression over all models instead of a Python loop per model, and
     the same expression batches over many states in
-    :meth:`predict_batch`.  The matrix cache is bounded (FIFO) so oracle
-    runs over long streams stay in bounded memory, and locked so a
-    shared oracle stays safe on the thread backend (scheduling is
-    otherwise read-only; this cache is the one write path).
+    :meth:`predict_batch`.  The matrix cache is a bounded LRU (eviction
+    by least-recent *access*, not insertion) so oracle runs over long
+    streams stay in bounded memory while hot items survive; a per-item
+    build guard ensures two threads missing the same item build its
+    matrix exactly once.  Scheduling is otherwise read-only; this cache
+    is the one write path, which is what keeps a shared oracle safe on
+    the thread backend.
     """
 
-    #: Per-item dense matrices kept before evicting the oldest.
+    #: Per-item dense matrices kept before evicting the least recently used.
     CACHE_ITEMS = 512
 
     def __init__(self, truth: GroundTruth, item_id: str | None = None):
         self.truth = truth
         self.item_id = item_id
-        self._gain_matrices: dict[str, np.ndarray] = {}
+        self._gain_matrices: OrderedDict[str, np.ndarray] = OrderedDict()
         self._cache_lock = threading.Lock()
+        #: item_id -> lock held while that item's matrix is being built,
+        #: so concurrent misses on one item serialize instead of both
+        #: paying for (and racing to insert) the same dense matrix.
+        self._building: dict[str, threading.Lock] = {}
+
+    def _lookup(self, item_id: str) -> np.ndarray | None:
+        """Cache hit under the lock, refreshing LRU recency."""
+        matrix = self._gain_matrices.get(item_id)
+        if matrix is not None:
+            self._gain_matrices.move_to_end(item_id)
+        return matrix
 
     def _gain_matrix(self, item_id: str) -> np.ndarray:
         with self._cache_lock:
-            matrix = self._gain_matrices.get(item_id)
-        if matrix is None:
+            matrix = self._lookup(item_id)
+            if matrix is not None:
+                return matrix
+            guard = self._building.setdefault(item_id, threading.Lock())
+        with guard:
+            with self._cache_lock:
+                # Double-check: the builder that held the guard before us
+                # (or a racer that finished between our two lock takes)
+                # already inserted the matrix.
+                matrix = self._lookup(item_id)
+                if matrix is not None:
+                    return matrix
             zoo = self.truth.zoo
             matrix = np.zeros((len(zoo), len(zoo.space)), dtype=np.float64)
             for index in range(len(zoo)):
@@ -99,10 +128,9 @@ class OraclePredictor(QValuePredictor):
                     np.maximum.at(matrix[index], ids, confs)
             with self._cache_lock:
                 while len(self._gain_matrices) >= self.CACHE_ITEMS:
-                    self._gain_matrices.pop(
-                        next(iter(self._gain_matrices)), None
-                    )
+                    self._gain_matrices.popitem(last=False)
                 self._gain_matrices[item_id] = matrix
+                self._building.pop(item_id, None)
         return matrix
 
     def predict(self, state: LabelingState) -> np.ndarray:
@@ -134,3 +162,47 @@ class QGreedyPolicy(OrderingPolicy):
         if len(remaining) == 0:
             raise RuntimeError("no models remain")  # pragma: no cover
         return int(remaining[np.argmax(q[remaining])])
+
+    def schedule_batch(
+        self,
+        truth: GroundTruth,
+        item_ids: Sequence[str],
+        max_models: int | None = None,
+    ) -> list[ScheduleTrace]:
+        """Vectorized lock-step rollout of many items: one dispatch tick
+        issues **one** :meth:`~QValuePredictor.predict_batch` call across
+        all in-flight items and selects per item with a masked argmax
+        over the ``(B, n_models)`` score matrix.
+
+        Round ``k`` of the batch corresponds to step ``k`` of each serial
+        run, and masking executed models to ``-inf`` before a row-wise
+        ``argmax`` replays :meth:`next_model`'s selection exactly —
+        including first-index tie-breaking — so traces are identical to
+        :func:`~repro.scheduling.base.run_ordering_policy` per item
+        (modulo the stacked-forward ULP caveat documented on
+        :class:`~repro.engine.backends.BatchedBackend`).
+        """
+        states = [LabelingState(truth, item_id) for item_id in item_ids]
+        traces = [
+            ScheduleTrace(item_id=item_id, total_value=truth.total_value(item_id))
+            for item_id in item_ids
+        ]
+        clocks = [0.0] * len(states)
+        limit = max_models if max_models is not None else len(truth.zoo)
+        active = [i for i, s in enumerate(states) if not s.all_executed]
+        rounds = 0
+        while active and rounds < limit:
+            q_batch = self.predictor.predict_batch([states[i] for i in active])
+            executed = np.stack([states[i].executed for i in active])
+            picks = np.argmax(np.where(executed, -np.inf, q_batch), axis=1)
+            still_active = []
+            for row, i in enumerate(active):
+                index = int(picks[row])
+                clocks[i] = execute_serially(
+                    states[i], traces[i], truth, index, clocks[i]
+                )
+                if not states[i].all_executed:
+                    still_active.append(i)
+            active = still_active
+            rounds += 1
+        return traces

@@ -9,6 +9,12 @@ first — and hands each batch to a pool of worker threads that run the
 engine's batched scheduling path.  That turns per-item request traffic
 into the large stacked-forward batches the engine needs for throughput,
 while ``max_wait`` caps how long any request waits for batch-mates.
+Because micro-batches are regime-homogeneous and every regime's
+scheduler exposes a vectorized ``schedule_batch`` dispatch tick, each
+``pop_batch`` → engine admission evaluates candidate Q values for the
+whole micro-batch in **one** matrix call per tick — unconstrained,
+deadline, and deadline+memory alike (see
+:class:`~repro.engine.backends.BatchedBackend`).
 Event-loop clients use :meth:`~LabelingService.submit_async` /
 :meth:`~LabelingService.submit_many_async` — the same futures wrapped
 with :func:`asyncio.wrap_future` — and ``backend="process"`` moves the
@@ -99,9 +105,12 @@ class LabelingService:
         The service then runs a sibling engine — same zoo, predictor, and
         config — on that backend instead of mutating the caller's engine.
         With ``backend="process"`` the scheduling phase runs in worker
-        *processes* (escaping the GIL) while the queue, result cache, and
-        shared-truth refcounting stay in this parent process; a backend
-        the service constructed itself is closed at :meth:`shutdown`.
+        *processes* (escaping the GIL) — each worker runs the vectorized
+        dispatch tick over its chunk and payloads travel through
+        shared-memory rings instead of pickle — while the queue, result
+        cache, and shared-truth refcounting stay in this parent process;
+        a backend the service constructed itself is closed at
+        :meth:`shutdown`.
     batch_size:
         Flush a forming batch as soon as it holds this many requests.
     max_wait:

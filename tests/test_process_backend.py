@@ -1,5 +1,11 @@
-"""ProcessPoolBackend: parity, snapshot lifecycle, crash handling, serving."""
+"""ProcessPoolBackend: parity, snapshot lifecycle, crash handling, serving.
 
+Set ``REPRO_MP_CONTEXT=spawn`` (the CI spawn leg does) to run every
+pool-backed test under that start method; unset, the platform default
+(fork on Linux) applies.
+"""
+
+import multiprocessing
 import os
 
 import numpy as np
@@ -36,6 +42,14 @@ def items(splits):
 
 def engine_for(zoo, predictor, world_config, backend):
     return LabelingEngine(zoo, predictor, world_config, backend=backend)
+
+
+def process_backend(**kwargs):
+    """ProcessPoolBackend honoring the ``REPRO_MP_CONTEXT`` env override."""
+    method = os.environ.get("REPRO_MP_CONTEXT")
+    if method:
+        kwargs.setdefault("mp_context", multiprocessing.get_context(method))
+    return ProcessPoolBackend(**kwargs)
 
 
 #: All three paper regimes plus the capped q-greedy variant.
@@ -85,7 +99,7 @@ class TestProcessParity:
         self, zoo, world_config, predictor, truth, items, workers, chunk_size
     ):
         serial = engine_for(zoo, predictor, world_config, "serial")
-        backend = ProcessPoolBackend(max_workers=workers, chunk_size=chunk_size)
+        backend = process_backend(max_workers=workers, chunk_size=chunk_size)
         with backend:
             process = engine_for(zoo, predictor, world_config, backend)
             for regime in REGIMES:
@@ -108,7 +122,7 @@ class TestProcessParity:
         ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
             items, truth=truth
         )
-        with ProcessPoolBackend(max_workers=2) as backend:
+        with process_backend(max_workers=2) as backend:
             engine = engine_for(zoo, predictor, world_config, backend)
             first = engine.label_batch(items)
             second = engine.label_batch(items)  # same pool, fresh truths
@@ -124,7 +138,7 @@ class TestProcessParity:
         ref = engine_for(zoo, oracle, world_config, "serial").label_batch(
             items[:6], truth=truth
         )
-        with ProcessPoolBackend(max_workers=2) as backend:
+        with process_backend(max_workers=2) as backend:
             got = engine_for(zoo, oracle, world_config, backend).label_batch(
                 items[:6], truth=truth
             )
@@ -136,7 +150,7 @@ class TestPoolLifecycle:
     def test_pool_and_snapshot_reused_across_jobs(
         self, zoo, world_config, predictor, truth, items
     ):
-        backend = ProcessPoolBackend(max_workers=2)
+        backend = process_backend(max_workers=2)
         with backend:
             engine = engine_for(zoo, predictor, world_config, backend)
             engine.label_batch(items, truth=truth)
@@ -151,7 +165,7 @@ class TestPoolLifecycle:
         self, zoo, world_config, predictor, truth, items
     ):
         # No pool spin-up for singleton jobs.
-        backend = ProcessPoolBackend(max_workers=2)
+        backend = process_backend(max_workers=2)
         with backend:
             engine = engine_for(zoo, predictor, world_config, backend)
             [result] = engine.label_batch(items[:1], truth=truth)
@@ -165,7 +179,7 @@ class TestPoolLifecycle:
         # the pool tears down and respawns with a fresh snapshot.
         first = AgentPredictor(trained.agent, len(zoo))
         second = AgentPredictor(trained.agent, len(zoo))
-        with ProcessPoolBackend(max_workers=2) as backend:
+        with process_backend(max_workers=2) as backend:
             engine_for(zoo, first, world_config, backend).label_batch(
                 items[:4], truth=truth
             )
@@ -182,7 +196,7 @@ class TestPoolLifecycle:
         # of cancelling each other's chunks (simulated in-flight job).
         first = AgentPredictor(trained.agent, len(zoo))
         second = AgentPredictor(trained.agent, len(zoo))
-        with ProcessPoolBackend(max_workers=2) as backend:
+        with process_backend(max_workers=2) as backend:
             engine_for(zoo, first, world_config, backend).label_batch(
                 items[:4], truth=truth
             )
@@ -205,7 +219,7 @@ class TestPoolLifecycle:
         # The service closes only backends it constructed from a registry
         # name; a caller-built instance may be shared and stays open.
         engine = engine_for(zoo, predictor, world_config, "batched")
-        with ProcessPoolBackend(max_workers=2) as backend:
+        with process_backend(max_workers=2) as backend:
             service = LabelingService(
                 engine, backend=backend, batch_size=4, workers=2, truth=truth
             )
@@ -280,7 +294,7 @@ class TestCrashPropagation:
         self, zoo, world_config, truth, items
     ):
         poison = PoisonPredictor(len(zoo), poison=items[1].item_id)
-        with ProcessPoolBackend(max_workers=2, chunk_size=2) as backend:
+        with process_backend(max_workers=2, chunk_size=2) as backend:
             engine = engine_for(zoo, poison, world_config, backend)
             with pytest.raises(RuntimeError, match="poisoned item"):
                 engine.label_batch(items[:6], truth=truth)
@@ -292,7 +306,7 @@ class TestCrashPropagation:
         self, zoo, world_config, truth, items
     ):
         killer = WorkerKiller(len(zoo), victim=items[0].item_id)
-        with ProcessPoolBackend(max_workers=2, chunk_size=2) as backend:
+        with process_backend(max_workers=2, chunk_size=2) as backend:
             engine = engine_for(zoo, killer, world_config, backend)
             with pytest.raises(BrokenProcessPool):
                 engine.label_batch(items[:4], truth=truth)

@@ -1,0 +1,357 @@
+"""Shared-memory transport: ring mechanics, codecs, fallbacks, telemetry.
+
+The fast path must be an *optimization only*: every test that exercises a
+fallback (tiny slots, full ring, non-conforming records, pickle-only
+mode) also asserts the traces still match the serial reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine import LabelingEngine, ProcessPoolBackend, SlotRing
+from repro.engine.shm import (
+    decode_records,
+    decode_traces,
+    encode_records,
+    encode_traces,
+)
+from repro.scheduling.deadline import CostQGreedyScheduler
+from repro.scheduling.qgreedy import AgentPredictor, OraclePredictor
+from repro.zoo.model import ModelZoo
+from repro.zoo.oracle import ItemRecord
+
+
+@pytest.fixture(scope="module")
+def predictor(trained, zoo):
+    return AgentPredictor(trained.agent, len(zoo))
+
+
+@pytest.fixture(scope="module")
+def items(splits):
+    _, test = splits
+    return test.items[:12]
+
+
+def engine_for(zoo, predictor, world_config, backend):
+    return LabelingEngine(zoo, predictor, world_config, backend=backend)
+
+
+def assert_same_traces(got, ref):
+    assert len(got) == len(ref)
+    for g, r in zip(got, ref):
+        assert g.item_id == r.item_id
+        assert g.trace.executions == r.trace.executions
+
+
+class TestSlotRing:
+    def test_acquire_until_full_then_release_reopens(self):
+        ring = SlotRing.create(slots=3, slot_bytes=32)
+        try:
+            taken = [ring.acquire() for _ in range(3)]
+            assert sorted(taken) == [0, 1, 2]
+            assert ring.acquire() is None  # full
+            ring.release(taken[1])
+            assert not ring.held(taken[1])
+            assert ring.acquire() == taken[1]
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_rotation_hint_spreads_slots(self):
+        # Acquire/release cycles should walk the ring, not hammer slot 0.
+        ring = SlotRing.create(slots=4, slot_bytes=32)
+        try:
+            seen = []
+            for _ in range(8):
+                slot = ring.acquire()
+                seen.append(slot)
+                ring.release(slot)
+            assert seen == [0, 1, 2, 3, 0, 1, 2, 3]
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_write_view_round_trip(self):
+        ring = SlotRing.create(slots=2, slot_bytes=64)
+        try:
+            slot = ring.acquire()
+            payload = bytes(range(48))
+            length = ring.write(slot, payload)
+            assert bytes(ring.view(slot, length)) == payload
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_payload_rejected(self):
+        ring = SlotRing.create(slots=1, slot_bytes=16)
+        try:
+            slot = ring.acquire()
+            with pytest.raises(ValueError, match="exceeds slot size"):
+                ring.write(slot, b"x" * 17)
+            with pytest.raises(ValueError, match="byte slot"):
+                ring.view(slot, 17)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_second_handle_sees_state_and_payload(self):
+        # A same-process attachment (untrack=False, as tests must) reads
+        # what the owner wrote, and its release is visible to the owner.
+        ring = SlotRing.create(slots=2, slot_bytes=32)
+        other = None
+        try:
+            slot = ring.acquire()
+            ring.write(slot, b"hello")
+            other = SlotRing.attach(
+                ring.name, ring.slots, ring.slot_bytes, untrack=False
+            )
+            assert other.held(slot)
+            assert bytes(other.view(slot, 5)) == b"hello"
+            other.release(slot)
+            assert not ring.held(slot)
+        finally:
+            if other is not None:
+                other.close()
+            ring.close()
+            ring.unlink()
+
+    def test_release_after_close_is_noop(self):
+        # A teardown racing a late chunk release must not raise.
+        ring = SlotRing.create(slots=1, slot_bytes=8)
+        slot = ring.acquire()
+        ring.close()
+        ring.release(slot)  # closed ring: silently ignored
+        ring.unlink()
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SlotRing.create(slots=0, slot_bytes=8)
+        with pytest.raises(ValueError):
+            SlotRing.create(slots=1, slot_bytes=0)
+
+
+class TestRecordCodec:
+    def test_round_trip_preserves_scheduling_surface(self, truth, zoo, items):
+        records = [truth.record(item.item_id) for item in items[:5]]
+        payload = encode_records(records)
+        assert payload is not None
+        decoded = decode_records(payload, zoo)
+        assert len(decoded) == len(records)
+        for want, got in zip(records, decoded):
+            assert got.item.item_id == want.item.item_id
+            assert got.total_value == want.total_value
+            np.testing.assert_array_equal(got.solo_values, want.solo_values)
+            np.testing.assert_array_equal(
+                got.best_confidence, want.best_confidence
+            )
+            for w_ids, g_ids in zip(want.valuable_ids, got.valuable_ids):
+                np.testing.assert_array_equal(g_ids, w_ids)
+            for w_confs, g_confs in zip(want.valuable_confs, got.valuable_confs):
+                np.testing.assert_array_equal(g_confs, w_confs)
+
+    def test_decoded_arrays_are_readonly_views(self, truth, zoo, items):
+        payload = encode_records([truth.record(items[0].item_id)])
+        [decoded] = decode_records(payload, zoo)
+        for array in (decoded.solo_values, decoded.best_confidence):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 1.0
+
+    def test_empty_shard_is_non_conforming(self):
+        assert encode_records([]) is None
+
+    def test_subclassed_record_falls_back(self, truth, items):
+        class CustomRecord(ItemRecord):
+            pass
+
+        record = truth.record(items[0].item_id)
+        custom = CustomRecord(**dataclasses.asdict(record))
+        assert encode_records([custom]) is None
+        # A conforming record in the same shard does not rescue it.
+        assert encode_records([record, custom]) is None
+
+    def test_inconsistent_shapes_fall_back(self, truth, items):
+        first = truth.record(items[0].item_id)
+        truncated = dataclasses.replace(
+            first, best_confidence=first.best_confidence[:-1]
+        )
+        assert encode_records([first, truncated]) is None
+
+    def test_zoo_mismatch_rejected_on_decode(self, truth, zoo, items):
+        payload = encode_records([truth.record(items[0].item_id)])
+        subset = ModelZoo(zoo.models[:5], zoo.space)
+        with pytest.raises(ValueError, match="zoo has"):
+            decode_records(payload, subset)
+
+    def test_adopted_decoded_records_schedule_identically(
+        self, truth, zoo, world_config, items
+    ):
+        from repro.zoo.oracle import GroundTruth
+
+        ids = [item.item_id for item in items[:4]]
+        payload = encode_records([truth.record(i) for i in ids])
+        empty = GroundTruth(zoo, [], world_config)
+        adopted = empty.adopt(decode_records(payload, zoo))
+        try:
+            scheduler = CostQGreedyScheduler(OraclePredictor(empty))
+            reference = CostQGreedyScheduler(OraclePredictor(truth))
+            for item_id in ids:
+                got = scheduler.schedule(empty, item_id, 0.5)
+                want = reference.schedule(truth, item_id, 0.5)
+                assert got.executions == want.executions
+        finally:
+            empty.release_many(adopted)
+
+
+class TestTraceCodec:
+    def test_round_trip(self, truth, items):
+        scheduler = CostQGreedyScheduler(OraclePredictor(truth))
+        ids = [item.item_id for item in items[:6]]
+        traces = [scheduler.schedule(truth, i, 0.4) for i in ids]
+        decoded = decode_traces(encode_traces(traces), ids, truth.zoo.names)
+        for want, got in zip(traces, decoded):
+            assert got.item_id == want.item_id
+            assert got.total_value == want.total_value
+            assert got.executions == want.executions
+
+    def test_empty_trace_round_trips(self, truth, items):
+        scheduler = CostQGreedyScheduler(OraclePredictor(truth))
+        ids = [items[0].item_id]
+        traces = [scheduler.schedule(truth, ids[0], 0.0)]  # nothing executes
+        [decoded] = decode_traces(encode_traces(traces), ids, truth.zoo.names)
+        assert decoded.executions == []
+
+    def test_id_count_mismatch_rejected(self, truth, items):
+        scheduler = CostQGreedyScheduler(OraclePredictor(truth))
+        ids = [item.item_id for item in items[:2]]
+        payload = encode_traces([scheduler.schedule(truth, i, 0.4) for i in ids])
+        with pytest.raises(ValueError, match="item ids were given"):
+            decode_traces(payload, ids[:1], truth.zoo.names)
+
+
+class TestBackendTransport:
+    def _two_batches_with_deltas(self, zoo, world_config, predictor, backend, items):
+        """Label two disjoint batches on one shared truth.
+
+        The pool's world snapshot is captured during the first batch, so
+        the second batch's records are post-snapshot and must travel as
+        chunk deltas.
+        """
+        from repro.zoo.oracle import GroundTruth
+
+        shared = GroundTruth(zoo, [], world_config)
+        engine = engine_for(zoo, predictor, world_config, backend)
+        first = engine.label_batch(items[:6], truth=shared)
+        second = engine.label_batch(items[6:12], truth=shared)
+        return first + second
+
+    def test_shm_fast_path_used_for_deltas_and_results(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with ProcessPoolBackend(max_workers=2) as backend:
+            got = self._two_batches_with_deltas(
+                zoo, world_config, predictor, backend, items
+            )
+            transport = backend.chunk_stats["transport"]
+        assert_same_traces(got, ref)
+        assert transport.get("delta_shm", 0) > 0
+        assert transport.get("result_shm", 0) > 0
+        assert transport.get("delta_pickle", 0) == 0
+        assert transport.get("result_pickle", 0) == 0
+
+    def test_tiny_slots_fall_back_to_pickle_without_breaking_parity(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with ProcessPoolBackend(max_workers=2, slot_bytes=64) as backend:
+            got = self._two_batches_with_deltas(
+                zoo, world_config, predictor, backend, items
+            )
+            transport = backend.chunk_stats["transport"]
+        assert_same_traces(got, ref)
+        assert transport.get("delta_pickle", 0) > 0  # oversized record shard
+        assert transport.get("result_pickle", 0) > 0  # oversized trace shard
+        assert transport.get("delta_shm", 0) == 0
+        assert transport.get("result_shm", 0) == 0
+
+    def test_pickle_transport_mode(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with ProcessPoolBackend(max_workers=2, transport="pickle") as backend:
+            got = engine_for(zoo, predictor, world_config, backend).label_batch(
+                items, truth=truth
+            )
+            assert backend._delta_ring is None  # no rings in pickle mode
+            assert backend.chunk_stats["transport"] == {}
+        assert_same_traces(got, ref)
+
+    def test_unvectorized_workers_keep_parity(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        # vectorized=False is the PR-baseline measurement mode: workers
+        # run the serial per-item loop, traces must be unchanged.
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with ProcessPoolBackend(max_workers=2, vectorized=False) as backend:
+            got = engine_for(zoo, predictor, world_config, backend).label_batch(
+                items, truth=truth
+            )
+        assert_same_traces(got, ref)
+
+    def test_rings_unlinked_on_close(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        backend = ProcessPoolBackend(max_workers=2)
+        with backend:
+            engine_for(zoo, predictor, world_config, backend).label_batch(
+                items, truth=truth
+            )
+            names = [backend._delta_ring.name, backend._result_ring.name]
+        assert backend._delta_ring is None
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_adaptive_chunking_telemetry(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        with ProcessPoolBackend(
+            max_workers=2, target_chunk_s=0.005
+        ) as backend:
+            engine = engine_for(zoo, predictor, world_config, backend)
+            engine.label_batch(items, truth=truth)
+            first = backend.chunk_stats
+            engine.label_batch(items, truth=truth)
+            second = backend.chunk_stats
+        assert first["chunks"] >= 2
+        assert first["items"] == len(items)
+        assert first["ewma_item_s"] is not None and first["ewma_item_s"] > 0
+        # The second job sizes its chunks from the telemetry of the first.
+        assert second["last_chunk_size"] is not None
+        assert 1 <= second["last_chunk_size"] <= len(items)
+        assert second["items"] == 2 * len(items)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="transport"):
+            ProcessPoolBackend(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="target_chunk_s"):
+            ProcessPoolBackend(target_chunk_s=0.0)
+        with pytest.raises(ValueError, match="ring_slots"):
+            ProcessPoolBackend(ring_slots=0)
+        with pytest.raises(ValueError, match="slot_bytes"):
+            ProcessPoolBackend(slot_bytes=0)
