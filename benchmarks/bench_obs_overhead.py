@@ -1,0 +1,265 @@
+"""The observability overhead gate: instrumented dispatch must stay cheap.
+
+The obs layer's contract is that leaving it on costs (almost) nothing:
+``repro.obs.instrument`` hooks the vectorized ``schedule_batch`` dispatch
+tick of every regime plus the engine's batch path, and this bench holds
+that claim to a number.  For each scheduling regime it measures
+``label_batch`` throughput twice — bare (no instrumentation installed)
+and fully instrumented (tick + engine hooks routing into a live
+:class:`~repro.obs.registry.MetricsRegistry`) — and reports the relative
+slowdown.  ``--assert-overhead 3`` is the CI gate: mean overhead across
+regimes must stay under 3%.
+
+Noise control: the two arms run *interleaved* (bare, instrumented, bare,
+instrumented, ...) so drift in machine load hits both equally, and each
+arm keeps its best-of-``repeats`` time.  Overhead is computed from those
+bests; a negative number just means the two arms are within noise.
+
+The second mode, ``--scrape-url``, is the serving smoke: it polls a live
+``serve --metrics-port`` endpoint until the queue, regime, and SLO
+families show nonzero samples (or a timeout passes), proving the whole
+export pipeline — service collector, SLO accumulators, tick hooks, HTTP
+thread — end to end against a real serving run.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --scale mini --items 64 --assert-overhead 3 --json BENCH.json
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --scrape-url http://127.0.0.1:9109 --scrape-timeout 90
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import WorldConfig
+from repro.data.datasets import generate_dataset
+from repro.engine import LabelingEngine
+from repro.labels import build_label_space
+from repro.obs import MetricsRegistry, install, uninstall
+from repro.rl.agents import make_agent
+from repro.scheduling.qgreedy import AgentPredictor
+from repro.spec import LabelingSpec
+from repro.zoo.builder import build_zoo
+from repro.zoo.oracle import GroundTruth
+
+#: The CI gate: mean instrumented slowdown across regimes, percent.
+MAX_OVERHEAD_PCT = 3.0
+
+#: One spec per scheduling regime, all three dispatch ticks exercised.
+REGIME_SPECS = {
+    "qgreedy": LabelingSpec(),
+    "deadline": LabelingSpec(deadline=0.5),
+    "deadline_memory": LabelingSpec(deadline=0.5, memory_budget=8000.0),
+}
+
+#: Families the serving smoke requires to carry nonzero samples.
+SMOKE_FAMILIES = (
+    "repro_queue_wait_seconds_count",
+    "repro_regime_items_total",
+    "repro_slo_completed_total",
+)
+
+_WORLDS: dict[tuple, tuple] = {}
+
+
+def build_world(scale: str = "mini", n_items: int = 64, seed: int = 20200208):
+    """(config, zoo, items, truth, predictor) for one bench world, cached."""
+    key = (scale, n_items, seed)
+    if key not in _WORLDS:
+        config = WorldConfig(vocab_scale=scale, seed=seed)
+        space = build_label_space(config.vocab_scale)
+        zoo = build_zoo(config, space)
+        dataset = generate_dataset(space, config, "mscoco2017", n_items)
+        truth = GroundTruth(zoo, dataset, config)
+        agent = make_agent(
+            "dueling_dqn", obs_dim=len(space), n_actions=len(zoo) + 1
+        )
+        predictor = AgentPredictor(agent, len(zoo))
+        _WORLDS[key] = (config, zoo, list(dataset), truth, predictor)
+    return _WORLDS[key]
+
+
+def measure_regime(
+    regime: str,
+    scale: str = "mini",
+    n_items: int = 64,
+    batch_size: int = 64,
+    repeats: int = 5,
+) -> dict:
+    """Interleaved bare-vs-instrumented throughput for one regime.
+
+    Returns ``{"bare": items/s, "instrumented": items/s, "overhead_pct": x}``
+    with each arm's rate taken from its best (minimum) wall time.
+    """
+    config, zoo, items, truth, predictor = build_world(scale, n_items)
+    engine = LabelingEngine(
+        zoo, predictor, config, backend="batched", batch_size=batch_size
+    )
+    spec = REGIME_SPECS[regime]
+    registry = MetricsRegistry()
+
+    def run_once() -> float:
+        start = time.perf_counter()
+        engine.label_batch(items, spec, truth=truth)
+        return time.perf_counter() - start
+
+    uninstall()
+    run_once()  # warm caches (predictor, truth records) outside both arms
+    best = {"bare": float("inf"), "instrumented": float("inf")}
+    try:
+        for _ in range(repeats):
+            uninstall()
+            best["bare"] = min(best["bare"], run_once())
+            install(registry)
+            best["instrumented"] = min(best["instrumented"], run_once())
+    finally:
+        uninstall()
+    bare = len(items) / best["bare"]
+    instrumented = len(items) / best["instrumented"]
+    return {
+        "bare_items_per_s": bare,
+        "instrumented_items_per_s": instrumented,
+        "overhead_pct": (bare - instrumented) / bare * 100.0,
+    }
+
+
+def run_overhead(args) -> tuple[dict, int]:
+    """All regimes' measurements plus the gate verdict (0 = pass)."""
+    results = {
+        regime: measure_regime(
+            regime,
+            scale=args.scale,
+            n_items=args.items,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+        )
+        for regime in REGIME_SPECS
+    }
+    mean_overhead = sum(r["overhead_pct"] for r in results.values()) / len(results)
+    report = {
+        "scale": args.scale,
+        "items": args.items,
+        "batch_size": args.batch_size,
+        "repeats": args.repeats,
+        "regimes": results,
+        "mean_overhead_pct": mean_overhead,
+        "gate_pct": args.assert_overhead,
+    }
+    print(
+        f"observability overhead: scale={args.scale} items={args.items} "
+        f"batch={args.batch_size} repeats={args.repeats}"
+    )
+    print(
+        f"{'regime':16s} {'bare it/s':>12s} {'instr it/s':>12s} {'overhead':>9s}"
+    )
+    for regime, r in results.items():
+        print(
+            f"{regime:16s} {r['bare_items_per_s']:12.1f} "
+            f"{r['instrumented_items_per_s']:12.1f} "
+            f"{r['overhead_pct']:8.2f}%"
+        )
+    print(f"{'mean':16s} {'':>12s} {'':>12s} {mean_overhead:8.2f}%")
+
+    status = 0
+    if args.assert_overhead is not None and mean_overhead > args.assert_overhead:
+        print(
+            f"FAIL: mean instrumented overhead {mean_overhead:.2f}% exceeds "
+            f"the {args.assert_overhead:.1f}% gate"
+        )
+        status = 1
+    return report, status
+
+
+def scrape_smoke(url: str, timeout: float) -> int:
+    """Poll a live /metrics endpoint until the required families have
+    nonzero samples; returns 0 on success, 1 on timeout/unreachable."""
+    import urllib.error
+    import urllib.request
+
+    metrics_url = url.rstrip("/") + "/metrics"
+    deadline = time.monotonic() + timeout
+    missing = list(SMOKE_FAMILIES)
+    last_error: str | None = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(metrics_url, timeout=5) as response:
+                text = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            last_error = str(exc)
+            time.sleep(0.5)
+            continue
+        nonzero = set()
+        for line in text.splitlines():
+            if line.startswith("#") or " " not in line:
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            try:
+                value = float(value_part)
+            except ValueError:
+                continue
+            if value > 0:
+                family = name_part.split("{", 1)[0]
+                nonzero.add(family)
+        missing = [
+            family for family in SMOKE_FAMILIES if family not in nonzero
+        ]
+        if not missing:
+            print(
+                f"scrape smoke OK: {metrics_url} serves nonzero samples for "
+                + ", ".join(SMOKE_FAMILIES)
+            )
+            return 0
+        last_error = f"families still zero/absent: {', '.join(missing)}"
+        time.sleep(0.5)
+    print(f"FAIL: scrape smoke timed out after {timeout:.0f}s ({last_error})")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="mini", choices=("mini", "full"))
+    parser.add_argument("--items", type=int, default=64)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--assert-overhead",
+        type=float,
+        default=None,
+        help="exit nonzero if mean overhead percent exceeds this gate",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the measurement report here"
+    )
+    parser.add_argument(
+        "--scrape-url",
+        default=None,
+        help="smoke mode: poll this serve --metrics-port base URL instead "
+        "of benchmarking",
+    )
+    parser.add_argument(
+        "--scrape-timeout",
+        type=float,
+        default=90.0,
+        help="seconds to keep polling --scrape-url before failing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scrape_url is not None:
+        return scrape_smoke(args.scrape_url, args.scrape_timeout)
+
+    report, status = run_overhead(args)
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,8 @@ Quickstart::
     print(result.label_names, result.time_used)
 """
 
+import logging as _logging
+
 from repro.config import TrainConfig, WorldConfig, get_scale
 from repro.core.framework import AdaptiveModelScheduler, LabelingResult
 from repro.spec import LabelingSpec
@@ -38,6 +40,11 @@ from repro.serving import LabelingService
 from repro.zoo import GroundTruth, ModelZoo, build_zoo
 
 __version__ = "1.3.0"
+
+# Library convention: emit through ``repro.*`` loggers, ship no handlers.
+# Applications opt in (e.g. ``repro.cli --log-level``); without that,
+# records vanish here instead of falling back to the root logger.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "TrainConfig",

@@ -11,7 +11,15 @@ Subcommands mirror the adoption workflow:
 * ``graph``    — build the model-relationship graph and print its
   strongest learned relationships (the auto-learned Table II);
 * ``serve``    — run the micro-batching labeling service over a generated
-  stream of concurrent client requests and print its telemetry report.
+  stream of concurrent client requests and print its telemetry report;
+  ``--metrics-port`` additionally serves live Prometheus/JSON metrics and
+  request traces over HTTP while the run is in flight;
+* ``trace``    — tail finished request-trace spans from a running
+  ``serve --metrics-port`` endpoint (or from a ``--trace-export`` file).
+
+``--log-level`` turns on stdlib logging for the ``repro.*`` loggers
+(service lifecycle, worker-pool respawns, shm transport fallbacks, cache
+evictions); the library itself ships only a NullHandler.
 
 Example::
 
@@ -19,11 +27,14 @@ Example::
     python -m repro.cli train --truth gt.npz --algo dueling_dqn --out agent.npz
     python -m repro.cli schedule --truth gt.npz --agent agent.npz --deadline 0.5
     python -m repro.cli serve --items 128 --clients 4 --rate 400 --max-wait 0.02
+    python -m repro.cli serve --items 256 --metrics-port 9109 &
+    python -m repro.cli trace --url http://127.0.0.1:9109 --follow
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
@@ -182,6 +193,26 @@ def cmd_serve(args) -> int:
     from repro.serving import DeadlineExpired, LabelingService, QueueFull
     from repro.zoo.oracle import GroundTruth
 
+    # Observability is opt-in: --metrics-port serves /metrics live,
+    # --trace-export dumps the span ring at exit; either one turns on
+    # the registry + tracer + scheduler-tick instrumentation.
+    observing = args.metrics_port is not None or args.trace_export is not None
+    registry = tracer = metrics_server = None
+    if observing:
+        from repro.obs import MetricsRegistry, MetricsServer, TraceBuffer, install
+
+        registry = MetricsRegistry()
+        tracer = TraceBuffer(capacity=args.trace_buffer)
+        install(registry)
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(
+                registry, tracer, port=args.metrics_port
+            ).start()
+            print(
+                f"metrics: {metrics_server.url}/metrics  "
+                f"traces: {metrics_server.url}/traces"
+            )
+
     config, space, zoo = _world(args)
     dataset = generate_dataset(space, config, args.dataset, args.items)
     # Pre-record once so the report measures serving + scheduling, not the
@@ -226,6 +257,8 @@ def cmd_serve(args) -> int:
         spec=service_spec,
         truth=truth,
         cache_size=args.cache_size or None,
+        registry=registry,
+        tracer=tracer,
     )
 
     items = list(dataset)
@@ -280,9 +313,102 @@ def cmd_serve(args) -> int:
         print(snapshot.format())
         if service.cache is not None:
             print(f"  result cache {service.cache.stats().format()}")
+        if tracer is not None:
+            print(
+                f"  traces      {tracer.finished} finished, "
+                f"{len(tracer)} in ring, {tracer.dropped} dropped"
+            )
+        if args.trace_export is not None:
+            with open(args.trace_export, "w") as fh:
+                fh.write(tracer.to_json())
+            print(f"  trace ring exported to {args.trace_export}")
+        if metrics_server is not None and args.metrics_linger > 0:
+            # Keep the endpoint up after drain so an external scraper
+            # (CI smoke, a curious operator) can read the final families.
+            print(
+                f"metrics endpoint lingering {args.metrics_linger:.0f}s "
+                f"at {metrics_server.url}/metrics"
+            )
+            time.sleep(args.metrics_linger)
         return 0 if snapshot.counters["failed"] == 0 else 1
     finally:
         service.engine.backend.close()
+        if metrics_server is not None:
+            metrics_server.close()
+        if observing:
+            from repro.obs import uninstall
+
+            uninstall()
+
+
+def _format_trace(trace: dict) -> str:
+    """One human line per exported trace dict (the JSON span schema)."""
+    timeline = "  ".join(
+        event["stage"]
+        + (
+            f"({event['detail']['reason']})"
+            if "reason" in event.get("detail", {})
+            else ""
+        )
+        + f"+{event['t'] * 1000:.1f}ms"
+        for event in trace["events"]
+    )
+    return (
+        f"#{trace['trace_id']} {trace['item_id']} regime={trace['regime']} "
+        f"status={trace['status'] or 'live'} "
+        f"{trace['duration_s'] * 1000:.1f}ms  {timeline}"
+    )
+
+
+def cmd_trace(args) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    if (args.url is None) == (args.file is None):
+        print("pass exactly one of --url or --file", file=sys.stderr)
+        return 2
+    if args.follow and args.url is None:
+        print("--follow requires --url (a live endpoint)", file=sys.stderr)
+        return 2
+
+    def fetch() -> dict:
+        if args.file is not None:
+            with open(args.file) as fh:
+                return json.load(fh)
+        query = f"?n={args.limit}" if args.limit is not None else ""
+        url = args.url.rstrip("/") + "/traces" + query
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return json.load(response)
+
+    last_seen = 0
+    try:
+        while True:
+            try:
+                payload = fetch()
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+                return 1
+            traces = payload.get("traces", [])
+            if args.limit is not None:
+                traces = traces[-args.limit :]
+            for trace in traces:
+                # In follow mode only print spans newer than the last poll;
+                # trace ids are monotonic, so this is an exact cursor.
+                if trace["trace_id"] > last_seen:
+                    print(_format_trace(trace))
+                    last_seen = trace["trace_id"]
+            if not args.follow:
+                print(
+                    f"{payload.get('finished', len(traces))} finished "
+                    f"trace(s), {payload.get('dropped', 0)} dropped from a "
+                    f"ring of {payload.get('capacity', '?')}"
+                )
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _split_ids(item_ids: list[str], seed: int) -> tuple[list[str], list[str]]:
@@ -298,6 +424,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--scale", default="full", choices=("full", "mini"))
     parser.add_argument("--seed", type=int, default=20200208)
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable stderr logging for the repro.* loggers at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("record", help="execute the zoo and store ground truth")
@@ -416,12 +548,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--agent", default=None, help="optional trained agent .npz")
     p.add_argument("--algo", default="dueling_dqn", choices=sorted(AGENT_REGISTRY))
     p.add_argument("--hidden", type=int, default=256)
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve /metrics, /metrics.json, and /traces on this port "
+        "while running (0 = pick an ephemeral port)",
+    )
+    p.add_argument(
+        "--metrics-linger",
+        type=float,
+        default=0.0,
+        help="keep the metrics endpoint up this many seconds after the "
+        "run drains, so external scrapers can read the final families",
+    )
+    p.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=512,
+        help="finished request-trace spans kept in the ring",
+    )
+    p.add_argument(
+        "--trace-export",
+        default=None,
+        help="write the trace ring as JSON to this path at exit",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="tail request-trace spans from a serve endpoint or file"
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running serve --metrics-port endpoint "
+        "(e.g. http://127.0.0.1:9109)",
+    )
+    p.add_argument(
+        "--file", default=None, help="read a serve --trace-export JSON file"
+    )
+    p.add_argument(
+        "--limit", type=int, default=None, help="show at most the last N spans"
+    )
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll --url and stream new spans until interrupted",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="poll period in seconds for --follow",
+    )
+    p.set_defaults(func=cmd_trace)
     return parser
+
+
+def _configure_logging(level: str | None) -> None:
+    """Wire the repro.* loggers to stderr when --log-level asks for it."""
+    if level is None:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     return args.func(args)
 
 

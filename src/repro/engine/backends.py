@@ -42,6 +42,7 @@ makes the thread backend safe without locks.
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 import os
@@ -70,6 +71,8 @@ from repro.scheduling.deadline_memory import MemoryDeadlineScheduler
 from repro.scheduling.qgreedy import QGreedyPolicy, QValuePredictor
 from repro.spec import LabelingSpec, validate_constraints  # noqa: F401 — re-export
 from repro.zoo.oracle import GroundTruth, ItemRecord
+
+logger = logging.getLogger("repro.engine.backends")
 
 
 @dataclass(frozen=True)
@@ -606,12 +609,22 @@ class ProcessPoolBackend(ExecutionBackend):
             return extras, None
         encoded = encode_records(list(extras))
         if encoded is None or len(encoded) > self._delta_ring.slot_bytes:
+            if encoded is not None:
+                logger.debug(
+                    "delta payload (%d bytes) exceeds shm slot (%d bytes); "
+                    "falling back to pickle",
+                    len(encoded),
+                    self._delta_ring.slot_bytes,
+                )
             with self._lock:
                 self._transport_counts["delta_pickle"] += 1
             return extras, None
         with self._delta_lock:
             slot = self._delta_ring.acquire()
         if slot is None:
+            logger.debug(
+                "delta ring momentarily full; falling back to pickle"
+            )
             with self._lock:
                 self._transport_counts["delta_pickle"] += 1
             return extras, None
@@ -697,6 +710,11 @@ class ProcessPoolBackend(ExecutionBackend):
                 # A worker died mid-chunk; the pool is unusable.  Drop it
                 # so the next job respawns cleanly (rings included), then
                 # surface the failure.
+                logger.warning(
+                    "process pool broke mid-job (%d items); closing it so "
+                    "the next job respawns workers",
+                    len(job.item_ids),
+                )
                 self.close()
                 raise
             except BaseException:

@@ -22,6 +22,7 @@ opt out entirely with ``release_records=False``.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from time import perf_counter
 
 from repro.config import WorldConfig
 from repro.data.datasets import DataItem
@@ -32,6 +33,7 @@ from repro.engine.backends import (
     make_backend,
 )
 from repro.engine.results import LabelingResult, result_from_trace
+from repro.obs.instrument import engine_observer
 from repro.scheduling.qgreedy import QValuePredictor
 from repro.spec import LabelingSpec
 from repro.zoo.model import ModelZoo
@@ -104,6 +106,11 @@ class LabelingEngine:
         spec: LabelingSpec,
     ) -> tuple[list[LabelingResult], list[str]]:
         """Record + schedule + assemble one batch; returns (results, owned)."""
+        # None unless obs instrumentation is installed; bare dispatches pay
+        # one global read and one branch, no timing calls.
+        sink = engine_observer()
+        if sink is not None:
+            dispatch_started = perf_counter()
         owned = [item.item_id for item in items if item.item_id not in truth]
         truth.record_batch(items)
         job = LabelingJob(
@@ -112,7 +119,15 @@ class LabelingEngine:
             spec=spec,
         )
         traces = self.backend.run(job, self.predictor)
-        return [result_from_trace(truth, trace) for trace in traces], owned
+        results = [result_from_trace(truth, trace) for trace in traces]
+        if sink is not None:
+            sink.observe_engine(
+                type(self.backend).__name__,
+                spec.regime,
+                len(items),
+                perf_counter() - dispatch_started,
+            )
+        return results, owned
 
     # -- labeling ------------------------------------------------------------
 

@@ -1,0 +1,267 @@
+"""Scrape-time adapters: existing telemetry surfaces -> metric families.
+
+The serving tier already keeps rich accumulators — the
+:class:`~repro.serving.telemetry.ServiceTelemetry` snapshot, the result
+cache's :meth:`~repro.serving.result_cache.ResultCache.stats`, the
+process backend's ``chunk_stats`` and per-pid dispatch counters.  Rather
+than double-count into registry metrics on the hot path, this module
+converts those snapshots into :class:`~repro.obs.registry.MetricFamily`
+records **when the registry is scraped**: :func:`bind_service` registers
+one pull-time collector per service, and the scattered surfaces become
+one uniform ``/metrics`` namespace at zero steady-state cost.
+
+Exported families (the full catalog lives in README "Observability"):
+
+* ``repro_requests_total{outcome=...}``, ``repro_batches_total{reason=...}``
+* ``repro_queue_depth``, ``repro_in_flight``, ``repro_uptime_seconds``
+* ``repro_regime_items_total{regime}``, ``repro_worker_items_total{worker}``
+* ``repro_queue_wait_seconds`` / ``repro_service_time_seconds`` summaries
+* ``repro_slo_*{regime}`` — completions, expiries, failures, deadline-miss
+  ratio, time-to-first-result, end-to-end latency summary
+* ``repro_cache_*`` and ``repro_backend_*`` when the service has a result
+  cache / a chunk-counting backend
+
+This module imports only :mod:`repro.obs.registry`; the service imports
+*it* lazily (only when constructed with a registry), so the obs package
+stays out of the scheduling/engine import graph.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricFamily, MetricsRegistry
+
+__all__ = ["bind_service", "service_families"]
+
+
+def _summary(name: str, help: str, stats, labels: dict | None = None):
+    """Three families (quantiles, sum, count) from one LatencyStats."""
+    base = dict(labels or {})
+    quantiles = tuple(
+        ({**base, "quantile": q}, value)
+        for q, value in (
+            ("0.5", stats.p50),
+            ("0.95", stats.p95),
+            ("0.99", stats.p99),
+        )
+    )
+    return [
+        MetricFamily(name, "summary", help, quantiles),
+        MetricFamily(
+            f"{name}_sum",
+            "counter",
+            f"{help} (sum)",
+            ((base, stats.mean * stats.count),),
+        ),
+        MetricFamily(
+            f"{name}_count", "counter", f"{help} (count)", ((base, stats.count),)
+        ),
+    ]
+
+
+def _merge(families: list[MetricFamily]) -> list[MetricFamily]:
+    """Coalesce same-name families (per-regime summaries) into one."""
+    merged: dict[str, MetricFamily] = {}
+    for family in families:
+        existing = merged.get(family.name)
+        if existing is None:
+            merged[family.name] = family
+        else:
+            merged[family.name] = MetricFamily(
+                family.name,
+                family.kind,
+                family.help,
+                existing.samples + family.samples,
+            )
+    return list(merged.values())
+
+
+def service_families(service) -> list[MetricFamily]:
+    """One service's full metric surface, computed from live snapshots."""
+    snap = service.snapshot()
+    families: list[MetricFamily] = [
+        MetricFamily(
+            "repro_requests_total",
+            "counter",
+            "Requests by outcome counter",
+            tuple(
+                ({"outcome": name}, count) for name, count in snap.counters.items()
+            ),
+        ),
+        MetricFamily(
+            "repro_batches_total",
+            "counter",
+            "Micro-batches dispatched by flush reason",
+            tuple(
+                ({"reason": reason}, count)
+                for reason, count in snap.flushes.items()
+            ),
+        ),
+        MetricFamily(
+            "repro_batched_items_total",
+            "counter",
+            "Items dispatched across all micro-batches",
+            (({}, snap.batched_items),),
+        ),
+        MetricFamily(
+            "repro_regime_items_total",
+            "counter",
+            "Items dispatched per scheduling regime",
+            tuple(
+                ({"regime": regime}, count)
+                for regime, count in snap.regimes.items()
+            ),
+        ),
+        MetricFamily(
+            "repro_worker_items_total",
+            "counter",
+            "Items dispatched per scheduling worker (thread or pid)",
+            tuple(
+                ({"worker": worker}, count)
+                for worker, count in snap.workers.items()
+            ),
+        ),
+        MetricFamily(
+            "repro_queue_depth",
+            "gauge",
+            "Requests waiting in the admission queue",
+            (({}, snap.queue_depth),),
+        ),
+        MetricFamily(
+            "repro_in_flight",
+            "gauge",
+            "Requests inside worker batches right now",
+            (({}, snap.in_flight),),
+        ),
+        MetricFamily(
+            "repro_uptime_seconds",
+            "gauge",
+            "Seconds since telemetry started or was reset",
+            (({}, snap.elapsed),),
+        ),
+    ]
+    families += _summary(
+        "repro_queue_wait_seconds", "Queue wait per request", snap.queue_wait
+    )
+    families += _summary(
+        "repro_service_time_seconds", "Batch service time", snap.service_time
+    )
+    for regime, slo in snap.slo.items():
+        labels = {"regime": regime}
+        families += [
+            MetricFamily(
+                "repro_slo_completed_total",
+                "counter",
+                "Requests completed per regime",
+                ((labels, slo.completed),),
+            ),
+            MetricFamily(
+                "repro_slo_expired_total",
+                "counter",
+                "Requests expired (admission deadline missed) per regime",
+                ((labels, slo.expired),),
+            ),
+            MetricFamily(
+                "repro_slo_failed_total",
+                "counter",
+                "Requests failed per regime",
+                ((labels, slo.failed),),
+            ),
+            MetricFamily(
+                "repro_slo_deadline_miss_ratio",
+                "gauge",
+                "expired / (completed + expired) per regime",
+                ((labels, slo.deadline_miss_rate),),
+            ),
+        ]
+        if slo.time_to_first_result is not None:
+            families.append(
+                MetricFamily(
+                    "repro_slo_time_to_first_result_seconds",
+                    "gauge",
+                    "Submit-to-first-completion latency per regime",
+                    ((labels, slo.time_to_first_result),),
+                )
+            )
+        families += _summary(
+            "repro_slo_e2e_seconds",
+            "Submit-to-completion latency per regime",
+            slo.e2e,
+            labels,
+        )
+    if service.cache is not None:
+        stats = service.cache.stats()
+        families += [
+            MetricFamily(
+                "repro_cache_events_total",
+                "counter",
+                "Result-cache traffic by event",
+                (
+                    ({"event": "hit"}, stats.hits),
+                    ({"event": "miss"}, stats.misses),
+                    ({"event": "coalesced"}, stats.coalesced),
+                    ({"event": "eviction"}, stats.evictions),
+                ),
+            ),
+            MetricFamily(
+                "repro_cache_size",
+                "gauge",
+                "Completed results currently cached",
+                (({}, stats.size),),
+            ),
+            MetricFamily(
+                "repro_cache_inflight",
+                "gauge",
+                "Claimed-but-unsettled cache keys (single-flight)",
+                (({}, stats.inflight),),
+            ),
+        ]
+    chunk_stats = getattr(type(service.engine.backend), "chunk_stats", None)
+    if chunk_stats is not None:
+        stats = service.engine.backend.chunk_stats
+        families += [
+            MetricFamily(
+                "repro_backend_chunks_total",
+                "counter",
+                "Chunks dispatched to scheduling workers",
+                (({}, stats["chunks"]),),
+            ),
+            MetricFamily(
+                "repro_backend_chunk_items_total",
+                "counter",
+                "Items scheduled through worker chunks",
+                (({}, stats["items"]),),
+            ),
+            MetricFamily(
+                "repro_backend_chunk_seconds_total",
+                "counter",
+                "Worker-reported wall seconds across chunks",
+                (({}, stats["seconds"]),),
+            ),
+            MetricFamily(
+                "repro_backend_ewma_item_seconds",
+                "gauge",
+                "EWMA per-item scheduling seconds driving chunk sizing",
+                (({}, stats["ewma_item_s"] or 0.0),),
+            ),
+            MetricFamily(
+                "repro_backend_last_chunk_size",
+                "gauge",
+                "Chunk size the most recent job sharded with",
+                (({}, stats["last_chunk_size"] or 0),),
+            ),
+            MetricFamily(
+                "repro_backend_transport_total",
+                "counter",
+                "Chunk payloads by transport path (shm fast path vs pickle)",
+                tuple(
+                    ({"path": path}, count)
+                    for path, count in stats["transport"].items()
+                ),
+            ),
+        ]
+    return _merge(families)
+
+
+def bind_service(registry: MetricsRegistry, service) -> None:
+    """Export ``service`` through ``registry`` as a pull-time collector."""
+    registry.register_collector(lambda: service_families(service))

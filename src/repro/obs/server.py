@@ -1,0 +1,167 @@
+"""The ``/metrics`` endpoint: a stdlib HTTP thread over the registry.
+
+:class:`MetricsServer` serves a :class:`~repro.obs.registry.MetricsRegistry`
+(and optionally a :class:`~repro.obs.trace.TraceBuffer`) from a
+:class:`~http.server.ThreadingHTTPServer` running in a daemon thread:
+
+* ``GET /metrics``       — Prometheus text exposition
+* ``GET /metrics.json``  — the same families as a JSON snapshot
+* ``GET /traces?n=K``    — the last K finished request traces (JSON)
+* ``GET /healthz``       — liveness probe
+
+Scrapes read shared accumulators under their own short locks; nothing on
+the serving or dispatch hot path ever blocks on an HTTP request.  Binding
+``port=0`` picks an ephemeral port, exposed as :attr:`MetricsServer.port`
+after :meth:`start` — benchmarks and tests bind that way to avoid
+collisions.  The default bind host is loopback: this endpoint has no
+auth, so exposing it wider is an explicit opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceBuffer
+
+__all__ = ["MetricsServer"]
+
+logger = logging.getLogger("repro.obs.server")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in MetricsServer.__init__.
+    registry: MetricsRegistry
+    tracer: TraceBuffer | None
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                self._reply(
+                    200,
+                    self.registry.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif route == "/metrics.json":
+                self._reply(200, self.registry.render_json(), "application/json")
+            elif route == "/traces":
+                if self.tracer is None:
+                    self._reply(
+                        404,
+                        json.dumps({"error": "tracing is not enabled"}),
+                        "application/json",
+                    )
+                    return
+                query = parse_qs(parsed.query)
+                n = None
+                if "n" in query:
+                    n = max(1, int(query["n"][0]))
+                self._reply(200, self.tracer.to_json(n), "application/json")
+            elif route in ("/healthz", "/"):
+                self._reply(200, "ok\n", "text/plain; charset=utf-8")
+            else:
+                self._reply(404, "not found\n", "text/plain; charset=utf-8")
+        except Exception:  # noqa: BLE001 — a scrape must never kill the thread
+            logger.exception("metrics request failed: %s", self.path)
+            try:
+                self._reply(500, "internal error\n", "text/plain; charset=utf-8")
+            except OSError:
+                pass
+
+    def log_message(self, format: str, *args) -> None:
+        # Route http.server's per-request stderr chatter into logging.
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class MetricsServer:
+    """Background HTTP server exposing one registry (and optional tracer).
+
+    Parameters
+    ----------
+    registry:
+        The metrics registry every scrape collects from.
+    tracer:
+        Optional trace buffer behind ``/traces`` (404 without one).
+    host / port:
+        Bind address.  ``port=0`` (default) picks an ephemeral port —
+        read :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: TraceBuffer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.tracer = tracer
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the requested one until :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve from a daemon thread (idempotent)."""
+        if self._server is not None:
+            return self
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"registry": self.registry, "tracer": self.tracer},
+        )
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("metrics endpoint serving at %s/metrics", self.url)
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+        logger.info("metrics endpoint on %s closed", self.url)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -14,11 +14,13 @@ upper bound of §V-C (fractional last model).
 from __future__ import annotations
 
 from collections.abc import Sequence
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.evaluation import marginal_gain
 from repro.core.state import LabelingState
+from repro.obs.instrument import batch_observer
 from repro.scheduling.base import (
     TOLERANCE,
     ScheduleTrace,
@@ -101,7 +103,12 @@ class CostQGreedyScheduler:
             for i, s in enumerate(states)
             if budgets[i] > 0 and not s.all_executed
         ]
+        # None unless obs instrumentation is installed; the bare path pays
+        # one branch per round and no timing calls.
+        observer = batch_observer("deadline", len(item_ids))
         while active:
+            if observer is not None:
+                tick_started = perf_counter()
             q_batch = self.predictor.predict_batch([states[i] for i in active])
             executed = np.stack([states[i].executed for i in active])
             affordable = times[None, :] <= budgets[active, None] + TOLERANCE
@@ -122,6 +129,12 @@ class CostQGreedyScheduler:
                 if budgets[i] > 0 and not states[i].all_executed:
                     still_active.append(i)
             active = still_active
+            if observer is not None:
+                observer.tick(
+                    perf_counter() - tick_started, int(selectable.sum())
+                )
+        if observer is not None:
+            observer.done()
         return traces
 
 

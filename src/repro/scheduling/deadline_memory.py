@@ -22,11 +22,13 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.evaluation import marginal_gain
 from repro.core.state import LabelingState
+from repro.obs.instrument import batch_observer
 from repro.scheduling.base import ScheduledExecution, ScheduleTrace
 from repro.scheduling.qgreedy import QValuePredictor
 from repro.zoo.oracle import GroundTruth
@@ -128,15 +130,17 @@ class MemoryDeadlineScheduler:
         times: np.ndarray,
         mems: np.ndarray,
         fill_deadlines: tuple[float, float],
-    ) -> None:
+    ) -> int:
         """The memory-packing fill passes shared by both schedule paths.
 
         Fill remaining memory: best value per unit memory among models
         finishing within the temporary (pivot) deadline (Algorithm 2
         line 7), then — refinement over the pseudocode — a second pass
         bounded by the global deadline, so leftover memory is not idled
-        when only longer-than-pivot models remain.
+        when only longer-than-pivot models remain.  Returns how many
+        models the passes started.
         """
+        started = 0
         for fill_deadline in fill_deadlines:
             while True:
                 candidates = sim.startable
@@ -148,6 +152,8 @@ class MemoryDeadlineScheduler:
                     break
                 chosen = int(fill[np.argmax(q[fill] / mems[fill])])
                 sim.start(chosen)
+                started += 1
+        return started
 
     def schedule(
         self,
@@ -231,7 +237,12 @@ class MemoryDeadlineScheduler:
             return bool(sim.startable_mask.any()) or bool(sim.heap)
 
         active = [i for i, sim in enumerate(sims) if continues(sim)]
+        # None unless obs instrumentation is installed; the bare path pays
+        # one branch per round and no timing calls.
+        observer = batch_observer("deadline_memory", len(item_ids))
         while active:
+            if observer is not None:
+                tick_started = perf_counter()
             q_batch = self.predictor.predict_batch(
                 [sims[i].state for i in active]
             )
@@ -250,6 +261,7 @@ class MemoryDeadlineScheduler:
                 scores = np.where(fits, q_batch / areas[None, :], -np.inf)
             pivots = np.argmax(scores, axis=1)
             has_pivot = fits.any(axis=1)
+            started = 0
             still_active = []
             for row, i in enumerate(active):
                 sim = sims[i]
@@ -257,7 +269,7 @@ class MemoryDeadlineScheduler:
                     pivot = int(pivots[row])
                     sim.start(pivot)
                     temp_deadline = sim.clock + float(times[pivot])
-                    self._fill(
+                    started += 1 + self._fill(
                         sim,
                         q_batch[row],
                         times,
@@ -270,6 +282,10 @@ class MemoryDeadlineScheduler:
                 if continues(sim):
                     still_active.append(i)
             active = still_active
+            if observer is not None:
+                observer.tick(perf_counter() - tick_started, started)
+        if observer is not None:
+            observer.done()
 
         for sim in sims:
             while sim.heap:

@@ -16,10 +16,12 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from collections.abc import Sequence
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.state import LabelingState
+from repro.obs.instrument import batch_observer
 from repro.rl.agents import QAgent
 from repro.scheduling.base import (
     OrderingPolicy,
@@ -191,7 +193,13 @@ class QGreedyPolicy(OrderingPolicy):
         limit = max_models if max_models is not None else len(truth.zoo)
         active = [i for i, s in enumerate(states) if not s.all_executed]
         rounds = 0
+        # None unless obs instrumentation is installed; the bare path pays
+        # one branch per round and no timing calls.
+        observer = batch_observer("qgreedy", len(item_ids))
         while active and rounds < limit:
+            if observer is not None:
+                tick_started = perf_counter()
+            selected = len(active)
             q_batch = self.predictor.predict_batch([states[i] for i in active])
             executed = np.stack([states[i].executed for i in active])
             picks = np.argmax(np.where(executed, -np.inf, q_batch), axis=1)
@@ -205,4 +213,8 @@ class QGreedyPolicy(OrderingPolicy):
                     still_active.append(i)
             active = still_active
             rounds += 1
+            if observer is not None:
+                observer.tick(perf_counter() - tick_started, selected)
+        if observer is not None:
+            observer.done()
         return traces

@@ -110,6 +110,9 @@ class LabelingRequest:
     #: Result-cache key this request fills on completion (``None`` when
     #: the service runs without a cache).
     cache_key: tuple | None = None
+    #: Live :class:`~repro.obs.trace.RequestTrace` span following this
+    #: request through the pipeline (``None`` without tracing).
+    trace: object | None = None
     #: Resolves to a :class:`~repro.engine.results.LabelingResult` or an error.
     future: Future = field(default_factory=Future)
 

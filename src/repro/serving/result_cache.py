@@ -31,12 +31,15 @@ cache clean after every batch.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 
 __all__ = ["CacheStats", "ResultCache"]
+
+logger = logging.getLogger("repro.serving.result_cache")
 
 
 @dataclass(frozen=True)
@@ -142,8 +145,14 @@ class ResultCache:
             self._results[key] = result
             self._results.move_to_end(key)
             while len(self._results) > self.capacity:
-                self._results.popitem(last=False)
+                evicted, _ = self._results.popitem(last=False)
                 self._evictions += 1
+                logger.debug(
+                    "evicted %r (capacity %d, %d evictions total)",
+                    evicted,
+                    self.capacity,
+                    self._evictions,
+                )
 
     # -- introspection -------------------------------------------------------
 

@@ -63,6 +63,7 @@ start/drain/shutdown automatically.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from collections.abc import Iterable
@@ -71,6 +72,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from repro.data.datasets import DataItem
 from repro.engine.backends import ExecutionBackend
 from repro.engine.engine import LabelingEngine
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceBuffer
 from repro.serving.queue import (
     DeadlineExpired,
     LabelingRequest,
@@ -91,6 +94,21 @@ DEFAULT_WORKERS = 2
 DEFAULT_MAX_DEPTH = 1024
 #: Default queue sweep period for settling expired-while-queued requests.
 DEFAULT_EXPIRY_INTERVAL = 0.05
+
+logger = logging.getLogger("repro.serving.service")
+
+
+def _terminal_stage(error: BaseException | None) -> str:
+    """The trace terminal stage a settling error (or success) maps to."""
+    if error is None:
+        return "completed"
+    if isinstance(error, DeadlineExpired):
+        return "expired"
+    if isinstance(error, QueueFull):
+        return "rejected"
+    if isinstance(error, ServiceStopped):
+        return "cancelled"
+    return "failed"
 
 
 class LabelingService:
@@ -146,6 +164,18 @@ class LabelingService:
         Period in seconds of the queue sweep that settles requests whose
         admission deadline lapsed while queued (``None``/``0`` disables
         the sweep; they then settle when their bucket is next served).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` the service
+        binds itself to — one pull-time collector exporting the telemetry
+        snapshot, per-regime SLO view, cache stats, and backend chunk
+        stats as Prometheus/JSON metric families at scrape time.  The
+        request path pays nothing for it.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceBuffer`.  When set, every
+        submission carries a :class:`~repro.obs.trace.RequestTrace` span
+        (``admitted → queued → batched → scheduled → completed/...``,
+        with cache-hit/coalesced short-circuits) that retires into the
+        buffer's ring, tailable via ``/traces`` and ``repro.cli trace``.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -168,6 +198,8 @@ class LabelingService:
         cache: ResultCache | None = None,
         cache_size: int | None = None,
         expiry_interval: float | None = DEFAULT_EXPIRY_INTERVAL,
+        registry: MetricsRegistry | None = None,
+        tracer: TraceBuffer | None = None,
         clock=time.monotonic,
         telemetry: ServiceTelemetry | None = None,
     ):
@@ -216,6 +248,15 @@ class LabelingService:
             max_depth=max_depth, overflow=overflow, min_cost=min_cost, clock=clock
         )
         self.telemetry = telemetry or ServiceTelemetry(clock=clock)
+        self.tracer = tracer
+        self.registry = registry
+        if registry is not None:
+            # Imported here, not at module top, purely for layering taste:
+            # the bridge is the one obs module that exists *for* the
+            # service, and binding is a one-time setup step.
+            from repro.obs.bridge import bind_service
+
+            bind_service(registry, self)
         self._state = threading.Condition()
         self._accepting = True
         self._started = False
@@ -297,6 +338,9 @@ class LabelingService:
             submitted_at=self._clock(),
             spec=resolved,
         )
+        if self.tracer is not None:
+            request.trace = self.tracer.start(item.item_id, resolved.regime)
+            request.trace.add("admitted")
         if self.cache is not None:
             with self._state:
                 if not self._accepting:
@@ -305,11 +349,13 @@ class LabelingService:
             outcome, payload = self.cache.begin(request.cache_key, request.future)
             if outcome == "hit":
                 self.telemetry.count("cache_hit")
+                self._finish_trace(request, "cache_hit")
                 done: Future = Future()
                 done.set_result(payload)
                 return done
             if outcome == "join":
                 self.telemetry.count("coalesced")
+                self._finish_trace(request, "coalesced")
                 return payload
             self.telemetry.count("cache_miss")
         with self._state:
@@ -336,9 +382,12 @@ class LabelingService:
             elif isinstance(exc, ServiceStopped):
                 # same accounting as a bulk request stopped mid-admission
                 self.telemetry.count("cancelled")
+            self._finish_trace(request, _terminal_stage(exc))
             self._abort_claim(request, exc)
             raise
         self.telemetry.count("submitted")
+        if request.trace is not None:
+            request.trace.add("queued")
         return request.future
 
     def submit_many(
@@ -383,6 +432,9 @@ class LabelingService:
                 submitted_at=now,
                 spec=resolved,
             )
+            if self.tracer is not None:
+                request.trace = self.tracer.start(item.item_id, resolved.regime)
+                request.trace.add("admitted")
             if self.cache is not None:
                 request.cache_key = resolved.cache_key(item.item_id)
                 outcome, payload = self.cache.begin(
@@ -390,12 +442,14 @@ class LabelingService:
                 )
                 if outcome == "hit":
                     hits += 1
+                    self._finish_trace(request, "cache_hit")
                     done: Future = Future()
                     done.set_result(payload)
                     futures.append(done)
                     continue
                 if outcome == "join":
                     joins += 1
+                    self._finish_trace(request, "coalesced")
                     futures.append(payload)
                     continue
             requests.append(request)
@@ -423,10 +477,14 @@ class LabelingService:
                 self._pending -= len(requests)
                 self._state.notify_all()
             for request in requests:
+                self._finish_trace(request, _terminal_stage(exc))
                 self._abort_claim(request, exc)
             raise
         self.telemetry.count("submitted", len(outcome.admitted))
         self.telemetry.count("submitted_many")
+        if self.tracer is not None:
+            for request in outcome.admitted:
+                request.trace.add("queued")
         for request in outcome.expired:
             self.telemetry.count("expired")
             self._resolve(request, error=self.queue.expired_error(request))
@@ -535,6 +593,14 @@ class LabelingService:
                 target=self._expiry_loop, name="labeling-expiry", daemon=True
             )
             self._reaper.start()
+        logger.info(
+            "service started: %d worker(s), batch_size=%d, max_wait=%.3fs, "
+            "backend=%s",
+            self.workers,
+            self.batch_size,
+            self.max_wait,
+            type(self.engine.backend).__name__,
+        )
         return self
 
     def drain(self, timeout: float | None = None) -> bool:
@@ -545,13 +611,21 @@ class LabelingService:
         immediate on a never-started service with an empty queue);
         ``False`` if ``timeout`` elapsed first.
         """
+        logger.info("draining: admission stopped, %d request(s) pending", self._pending)
         with self._state:
             self._accepting = False
         self.queue.start_drain()
         with self._state:
             if not self._started:
                 return self._pending == 0
-            return self._state.wait_for(lambda: self._pending == 0, timeout)
+            drained = self._state.wait_for(lambda: self._pending == 0, timeout)
+        if not drained:
+            logger.warning(
+                "drain timed out after %.3fs with %d request(s) still pending",
+                timeout,
+                self._pending,
+            )
+        return drained
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the service; still-queued requests fail with ServiceStopped.
@@ -578,6 +652,9 @@ class LabelingService:
         for request in leftovers:
             self.telemetry.count("cancelled")
             self._resolve(request, error=ServiceStopped("service shut down"))
+        logger.info(
+            "service shut down (%d queued request(s) cancelled)", len(leftovers)
+        )
 
     def __enter__(self) -> "LabelingService":
         return self.start()
@@ -601,14 +678,33 @@ class LabelingService:
         if not request.future.done():
             request.future.set_exception(error)
 
+    def _finish_trace(self, request: LabelingRequest, stage: str, **detail) -> None:
+        """Retire a request's trace span (no-op without tracing)."""
+        if self.tracer is not None and request.trace is not None:
+            self.tracer.finish(request.trace, stage, **detail)
+
     def _resolve(self, request: LabelingRequest, result=None, error=None) -> None:
-        """Settle one request's future, its cache claim, and accounting."""
+        """Settle one request's future, its cache claim, and accounting.
+
+        Every settled request also lands in its regime's SLO accumulators
+        (completions with their end-to-end latency) and retires its trace
+        span — this is the single point all fates flow through.
+        """
         if error is not None:
             request.future.set_exception(error)
         else:
             request.future.set_result(result)
         if self.cache is not None and request.cache_key is not None:
             self.cache.settle(request.cache_key, result=result, error=error)
+        stage = _terminal_stage(error)
+        self._finish_trace(request, stage)
+        spec = request.spec or self.default_spec
+        if stage == "completed":
+            self.telemetry.observe_outcome(
+                spec.regime, "completed", self._clock() - request.submitted_at
+            )
+        elif stage in ("expired", "failed"):
+            self.telemetry.observe_outcome(spec.regime, stage)
         with self._state:
             self._pending -= 1
             self._state.notify_all()
@@ -664,6 +760,11 @@ class LabelingService:
             self.telemetry.observe_flush(
                 len(batch), reason, regime=spec.regime if spec else None
             )
+            if self.tracer is not None:
+                size = len(batch)
+                for request in batch:
+                    if request.trace is not None:
+                        request.trace.add("batched", reason=reason, size=size)
             with self._state:
                 self._in_flight += len(batch)
             self._pool.submit(self._process_batch, batch)
@@ -697,10 +798,13 @@ class LabelingService:
     def _process_batch(self, batch: list[LabelingRequest]) -> None:
         started = self._clock()
         spec = batch[0].spec or self.default_spec
+        worker = threading.current_thread().name
         if not self._backend_counts:
-            self.telemetry.observe_dispatch(
-                threading.current_thread().name, len(batch)
-            )
+            self.telemetry.observe_dispatch(worker, len(batch))
+        if self.tracer is not None:
+            for request in batch:
+                if request.trace is not None:
+                    request.trace.add("scheduled", worker=worker)
         try:
             results = self._label_batch([request.item for request in batch], spec)
         except BaseException as exc:  # propagate to every caller, keep serving

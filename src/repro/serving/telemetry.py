@@ -47,6 +47,14 @@ COUNTERS = (
 #: ``RequestQueue.pop_batch``).
 FLUSH_REASONS = ("size", "wait", "drain", "regime_split")
 
+#: Request fates the per-regime SLO accumulators distinguish.
+SLO_OUTCOMES = ("completed", "expired", "failed")
+
+# Frozen lookup sets so validation is one hash probe before the lock.
+_COUNTER_SET = frozenset(COUNTERS)
+_FLUSH_SET = frozenset(FLUSH_REASONS)
+_OUTCOME_SET = frozenset(SLO_OUTCOMES)
+
 
 @dataclass(frozen=True)
 class LatencyStats:
@@ -118,6 +126,70 @@ class LatencyHistogram:
 
 
 @dataclass(frozen=True)
+class RegimeSLO:
+    """One regime's service-level view: outcomes and end-to-end latency.
+
+    ``deadline_miss_rate`` is the fraction of definitively-fated
+    deadline-carrying traffic that expired instead of completing;
+    ``time_to_first_result`` is the end-to-end latency of the regime's
+    first completion — the cold-start number an operator watches after a
+    deploy or a recovery.
+    """
+
+    #: Requests that resolved with a result.
+    completed: int = 0
+    #: Requests dropped because their admission deadline lapsed.
+    expired: int = 0
+    #: Requests that resolved with a serving error.
+    failed: int = 0
+    #: End-to-end submit→completion latency of the first completion
+    #: (``None`` until the regime completes something).
+    time_to_first_result: float | None = None
+    #: Submit→completion latency distribution.
+    e2e: LatencyStats = LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """``expired / (completed + expired)`` (0.0 with no traffic)."""
+        settled = self.completed + self.expired
+        return self.expired / settled if settled else 0.0
+
+    def format(self) -> str:
+        ttfr = (
+            f"{self.time_to_first_result * 1000:.1f}ms"
+            if self.time_to_first_result is not None
+            else "-"
+        )
+        return (
+            f"completed {self.completed}  expired {self.expired}  "
+            f"failed {self.failed}  miss rate {self.deadline_miss_rate:.1%}  "
+            f"ttfr {ttfr}  e2e {self.e2e.format()}"
+        )
+
+
+class _RegimeSLOAccumulator:
+    """Mutable per-regime counters behind :class:`RegimeSLO` snapshots."""
+
+    __slots__ = ("completed", "expired", "failed", "first_result_s", "e2e")
+
+    def __init__(self, histogram_capacity: int):
+        self.completed = 0
+        self.expired = 0
+        self.failed = 0
+        self.first_result_s: float | None = None
+        self.e2e = LatencyHistogram(histogram_capacity, seed=3)
+
+    def snapshot(self) -> RegimeSLO:
+        return RegimeSLO(
+            completed=self.completed,
+            expired=self.expired,
+            failed=self.failed,
+            time_to_first_result=self.first_result_s,
+            e2e=self.e2e.stats(),
+        )
+
+
+@dataclass(frozen=True)
 class TelemetrySnapshot:
     """One immutable view of the service's health, safe to hold and compare."""
 
@@ -146,6 +218,9 @@ class TelemetrySnapshot:
     in_flight: int = 0
     queue_wait: LatencyStats = LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
     service_time: LatencyStats = LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    #: Per-regime SLO view (deadline-miss rate, time-to-first-result,
+    #: end-to-end latency); only regimes that saw settled traffic appear.
+    slo: dict[str, RegimeSLO] = field(default_factory=dict)
 
     @property
     def batches(self) -> int:
@@ -200,8 +275,12 @@ class TelemetrySnapshot:
         lines += [
             f"  queue wait  {self.queue_wait.format()}",
             f"  service     {self.service_time.format()}",
-            f"  now         queue depth {self.queue_depth}, in flight {self.in_flight}",
         ]
+        for regime, slo in sorted(self.slo.items()):
+            lines.append(f"  slo[{regime}]  {slo.format()}")
+        lines.append(
+            f"  now         queue depth {self.queue_depth}, in flight {self.in_flight}"
+        )
         return "\n".join(lines)
 
 
@@ -229,6 +308,7 @@ class ServiceTelemetry:
         self._workers: dict[str, int] = {}
         self._queue_wait = LatencyHistogram(self._capacity, seed=1)
         self._service_time = LatencyHistogram(self._capacity, seed=2)
+        self._slo: dict[str, _RegimeSLOAccumulator] = {}
 
     def reset(self) -> None:
         """Zero every counter and histogram; restarts the elapsed clock."""
@@ -236,6 +316,10 @@ class ServiceTelemetry:
             self._reset_locked()
 
     def count(self, name: str, n: int = 1) -> None:
+        if name not in _COUNTER_SET:
+            raise ValueError(
+                f"unknown counter {name!r}; expected one of {sorted(_COUNTER_SET)}"
+            )
         with self._lock:
             self._counters[name] += n
 
@@ -248,11 +332,41 @@ class ServiceTelemetry:
             self._service_time.observe(seconds)
 
     def observe_flush(self, size: int, reason: str, regime: str | None = None) -> None:
+        if reason not in _FLUSH_SET:
+            raise ValueError(
+                f"unknown flush reason {reason!r}; "
+                f"expected one of {sorted(_FLUSH_SET)}"
+            )
         with self._lock:
             self._flushes[reason] += 1
             self._batched_items += size
             if regime is not None:
                 self._regimes[regime] = self._regimes.get(regime, 0) + size
+
+    def observe_outcome(
+        self, regime: str, outcome: str, e2e_seconds: float | None = None
+    ) -> None:
+        """Record one settled request against ``regime``'s SLO view.
+
+        ``outcome`` is one of :data:`SLO_OUTCOMES`; completions should pass
+        their submit→completion latency as ``e2e_seconds`` so the per-regime
+        distribution and time-to-first-result stay populated.
+        """
+        if outcome not in _OUTCOME_SET:
+            raise ValueError(
+                f"unknown SLO outcome {outcome!r}; "
+                f"expected one of {sorted(_OUTCOME_SET)}"
+            )
+        with self._lock:
+            acc = self._slo.get(regime)
+            if acc is None:
+                acc = self._slo[regime] = _RegimeSLOAccumulator(self._capacity)
+            setattr(acc, outcome, getattr(acc, outcome) + 1)
+            if outcome == "completed":
+                if e2e_seconds is not None:
+                    acc.e2e.observe(e2e_seconds)
+                    if acc.first_result_s is None:
+                        acc.first_result_s = e2e_seconds
 
     def observe_dispatch(self, worker: str, size: int) -> None:
         """Record that ``worker`` (a thread or process label) ran ``size``
@@ -285,4 +399,5 @@ class ServiceTelemetry:
                 in_flight=in_flight,
                 queue_wait=self._queue_wait.stats(),
                 service_time=self._service_time.stats(),
+                slo={regime: acc.snapshot() for regime, acc in self._slo.items()},
             )

@@ -1,0 +1,390 @@
+"""The observability layer: registry, traces, instrumentation, endpoint."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import LabelingEngine
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    TraceBuffer,
+    batch_observer,
+    install,
+    installed,
+    service_families,
+    uninstall,
+)
+from repro.rl.agents import make_agent
+from repro.scheduling.qgreedy import AgentPredictor
+from repro.serving import (
+    LabelingService,
+    LabelingSpec,
+    LatencyHistogram,
+    LatencyStats,
+    ServiceTelemetry,
+)
+
+
+@pytest.fixture(scope="module")
+def predictor(zoo, space):
+    # Observability semantics do not depend on agent quality; an untrained
+    # network keeps this module independent of the slow trained fixture.
+    agent = make_agent(
+        "dueling_dqn", obs_dim=len(space), n_actions=len(zoo) + 1, hidden_size=32
+    )
+    return AgentPredictor(agent, len(zoo))
+
+
+@pytest.fixture(scope="module")
+def engine(zoo, predictor, world_config):
+    return LabelingEngine(zoo, predictor, world_config)
+
+
+@pytest.fixture(scope="module")
+def items(splits):
+    _, test = splits
+    return test.items[:24]
+
+
+@pytest.fixture(autouse=True)
+def _clean_instrumentation():
+    # Instrumentation is process-global; never leak it across tests.
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "Requests")
+        requests.inc()
+        requests.inc(4)
+        depth = registry.gauge("depth", "Depth")
+        depth.set(7)
+        depth.dec(2)
+        latency = registry.histogram("latency_seconds", "Latency")
+        for value in (0.1, 0.2, 0.3):
+            latency.observe(value)
+        text = registry.render_prometheus()
+        assert "requests_total 5" in text
+        assert "depth 5" in text
+        assert 'latency_seconds{quantile="0.5"} 0.2' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum" in text
+
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks", "Ticks", labelnames=("regime",))
+        counter.labels(regime="qgreedy").inc(2)
+        counter.labels(regime="deadline").inc(3)
+        text = registry.render_prometheus()
+        assert 'ticks{regime="qgreedy"} 2' in text
+        assert 'ticks{regime="deadline"} 3' in text
+
+    def test_reregistration_same_kind_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("again", "Again")
+        assert registry.counter("again", "Again") is first
+
+    def test_reregistration_with_other_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("clash", "Clash")
+        with pytest.raises(ValueError, match="clash"):
+            registry.gauge("clash", "Clash")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc", "Esc", labelnames=("who",))
+        counter.labels(who='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'esc{who="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_failing_collector_is_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("fine", "Fine").inc()
+        registry.register_collector(lambda: 1 / 0)
+        text = registry.render_prometheus()
+        assert "fine 1" in text
+
+    def test_json_snapshot_matches_families(self):
+        registry = MetricsRegistry()
+        registry.counter("n", "N").inc(2)
+        payload = json.loads(registry.render_json())
+        assert payload["n"]["kind"] == "counter"
+        assert payload["n"]["samples"][0]["value"] == 2
+
+
+class TestTraceBuffer:
+    def test_span_lifecycle_and_tail(self):
+        buffer = TraceBuffer(capacity=4)
+        trace = buffer.start("item-1", "qgreedy")
+        trace.add("queued")
+        trace.add("batched", reason="size", size=8)
+        trace.add("scheduled", worker="w0")
+        buffer.finish(trace, "completed")
+        (exported,) = buffer.tail()
+        stages = [event["stage"] for event in exported["events"]]
+        assert stages == ["queued", "batched", "scheduled", "completed"]
+        assert exported["status"] == "completed"
+        assert exported["events"][1]["detail"] == {"reason": "size", "size": 8}
+
+    def test_unknown_terminal_stage_raises(self):
+        buffer = TraceBuffer()
+        trace = buffer.start("item-1", "qgreedy")
+        with pytest.raises(ValueError, match="terminal"):
+            buffer.finish(trace, "vanished")
+
+    def test_ring_evicts_oldest(self):
+        buffer = TraceBuffer(capacity=2)
+        for index in range(5):
+            buffer.finish(buffer.start(f"item-{index}", "qgreedy"), "completed")
+        assert len(buffer) == 2
+        assert buffer.finished == 5
+        assert buffer.dropped == 3
+        assert [t["item_id"] for t in buffer.tail()] == ["item-3", "item-4"]
+
+    def test_to_json_roundtrip(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.finish(buffer.start("item-1", "deadline"), "expired")
+        payload = json.loads(buffer.to_json())
+        assert payload["finished"] == 1
+        assert payload["traces"][0]["status"] == "expired"
+
+
+class TestInstrumentation:
+    def test_bare_path_returns_none(self):
+        assert installed() is None
+        assert batch_observer("qgreedy", 8) is None
+
+    def test_install_routes_ticks_into_registry(self):
+        registry = MetricsRegistry()
+        install(registry)
+        observer = batch_observer("qgreedy", 8)
+        observer.tick(0.002, 8)
+        observer.tick(0.001, 5)
+        observer.done()
+        text = registry.render_prometheus()
+        assert 'repro_sched_batches_total{regime="qgreedy"} 1' in text
+        assert 'repro_sched_rounds_total{regime="qgreedy"} 2' in text
+        assert 'repro_sched_models_executed_total{regime="qgreedy"} 13' in text
+        assert 'repro_sched_batch_items_total{regime="qgreedy"} 8' in text
+
+    def test_install_idempotent_and_uninstall_restores_bare(self):
+        registry = MetricsRegistry()
+        first = install(registry)
+        assert install(registry) is first
+        uninstall()
+        assert installed() is None
+
+    def test_schedulers_record_per_regime(self, engine, truth, items):
+        registry = MetricsRegistry()
+        install(registry)
+        subset = items[:6]
+        engine.label_batch(subset, LabelingSpec(), truth=truth)
+        engine.label_batch(subset, LabelingSpec(deadline=0.5), truth=truth)
+        engine.label_batch(
+            subset,
+            LabelingSpec(deadline=0.5, memory_budget=8000.0),
+            truth=truth,
+        )
+        text = registry.render_prometheus()
+        for regime in ("qgreedy", "deadline", "deadline_memory"):
+            assert f'repro_sched_batches_total{{regime="{regime}"}} 1' in text
+            assert f'repro_engine_items_total{{backend="BatchedBackend",regime="{regime}"}} 6' in text
+        # Unconstrained Q-greedy executes every model on every item.
+        zoo_size = len(engine.zoo)
+        assert (
+            f'repro_sched_models_executed_total{{regime="qgreedy"}} '
+            f"{6 * zoo_size}" in text
+        )
+
+
+class TestMetricsServer:
+    def test_endpoints(self):
+        registry = MetricsRegistry()
+        registry.counter("up", "Up").inc()
+        tracer = TraceBuffer()
+        tracer.finish(tracer.start("item-1", "qgreedy"), "completed")
+        with MetricsServer(registry, tracer) as server:
+            base = server.url
+            text = urllib.request.urlopen(f"{base}/metrics").read().decode()
+            assert "up 1" in text
+            as_json = json.load(urllib.request.urlopen(f"{base}/metrics.json"))
+            assert as_json["up"]["samples"][0]["value"] == 1
+            traces = json.load(urllib.request.urlopen(f"{base}/traces?n=5"))
+            assert traces["finished"] == 1
+            health = urllib.request.urlopen(f"{base}/healthz").read().decode()
+            assert health.strip() == "ok"
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(f"{base}/nope")
+            assert caught.value.code == 404
+
+    def test_traces_404_without_tracer(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(f"{server.url}/traces")
+            assert caught.value.code == 404
+
+    def test_concurrent_scrapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "C").inc()
+        errors: list[Exception] = []
+
+        def scrape(url: str) -> None:
+            try:
+                for _ in range(5):
+                    urllib.request.urlopen(url).read()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        with MetricsServer(registry) as server:
+            threads = [
+                threading.Thread(target=scrape, args=(f"{server.url}/metrics",))
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+
+
+class TestServiceIntegration:
+    def test_service_exports_families_and_traces(self, engine, truth, items):
+        registry = MetricsRegistry()
+        tracer = TraceBuffer(capacity=64)
+        install(registry)
+        service = LabelingService(
+            engine,
+            batch_size=8,
+            truth=truth,
+            registry=registry,
+            tracer=tracer,
+            cache_size=64,
+        )
+        with service:
+            futures = service.submit_many(items[:12])
+            repeat = service.submit(items[0])  # coalesces or hits the cache
+            for future in futures + [repeat]:
+                future.result(timeout=10)
+        text = registry.render_prometheus()
+        assert 'repro_requests_total{outcome="completed"} 12' in text
+        assert 'repro_slo_completed_total{regime="qgreedy"} 12' in text
+        assert "repro_slo_deadline_miss_ratio" in text
+        assert "repro_slo_time_to_first_result_seconds" in text
+        assert "repro_queue_wait_seconds_count 12" in text
+        assert "repro_cache_events_total" in text
+        assert 'repro_sched_batches_total{regime="qgreedy"}' in text
+        # Every settled request left a finished span with the full path.
+        finished = tracer.tail()
+        assert len(finished) == 13
+        completed = [t for t in finished if t["status"] == "completed"]
+        assert len(completed) == 12
+        stages = [event["stage"] for event in completed[0]["events"]]
+        assert stages == [
+            "admitted", "queued", "batched", "scheduled", "completed",
+        ]
+        shortcut = [t for t in finished if t["status"] != "completed"]
+        assert shortcut[0]["status"] in ("cache_hit", "coalesced")
+
+    def test_expired_requests_count_against_slo(self, engine, truth, items):
+        # submit_many settles impossible-deadline items through _resolve,
+        # so they land in the SLO accumulator as deadline misses.
+        min_cost = float(engine.zoo.times.min())
+        service = LabelingService(
+            engine, batch_size=4, truth=truth, spec=LabelingSpec(deadline=0.5)
+        )
+        with service:
+            futures = service.submit_many(items[:2], deadline=min_cost / 2)
+            for future in futures:
+                with pytest.raises(Exception):
+                    future.result(timeout=10)
+        slo = service.snapshot().slo["deadline"]
+        assert slo.expired == 2
+        assert slo.completed == 0
+        assert slo.deadline_miss_rate == 1.0
+
+    def test_families_without_server(self, engine, truth, items):
+        service = LabelingService(engine, batch_size=8, truth=truth)
+        with service:
+            for future in service.submit_many(items[:4]):
+                future.result(timeout=10)
+        names = {family.name for family in service_families(service)}
+        assert {
+            "repro_requests_total",
+            "repro_batches_total",
+            "repro_queue_depth",
+            "repro_in_flight",
+            "repro_slo_completed_total",
+        } <= names
+
+
+class TestTelemetryValidation:
+    def test_unknown_counter_raises_value_error(self):
+        telemetry = ServiceTelemetry()
+        with pytest.raises(ValueError, match="completed"):
+            telemetry.count("not_a_counter")
+
+    def test_unknown_flush_reason_raises_value_error(self):
+        telemetry = ServiceTelemetry()
+        with pytest.raises(ValueError, match="regime_split"):
+            telemetry.observe_flush(4, "panic")
+
+    def test_unknown_outcome_raises_value_error(self):
+        telemetry = ServiceTelemetry()
+        with pytest.raises(ValueError, match="expired"):
+            telemetry.observe_outcome("qgreedy", "vanished")
+
+    def test_valid_names_still_count(self):
+        telemetry = ServiceTelemetry()
+        telemetry.count("completed", 2)
+        telemetry.observe_flush(4, "size", regime="qgreedy")
+        snapshot = telemetry.snapshot()
+        assert snapshot.counters["completed"] == 2
+        assert snapshot.flushes["size"] == 1
+
+
+class TestLatencyHistogramEdges:
+    def test_capacity_one_keeps_exactly_one_sample(self):
+        histogram = LatencyHistogram(capacity=1, seed=0)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        stats = histogram.stats()
+        assert stats.count == 4
+        assert stats.p50 in (1.0, 2.0, 3.0, 4.0)
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(capacity=0)
+
+    def test_post_capacity_replacement_bounds_reservoir(self):
+        histogram = LatencyHistogram(capacity=8, seed=1)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert len(histogram._samples) == 8
+        assert histogram.stats().count == 100
+
+    def test_seeded_reservoirs_reproduce(self):
+        def fill(seed: int) -> LatencyStats:
+            histogram = LatencyHistogram(capacity=4, seed=seed)
+            for value in range(50):
+                histogram.observe(float(value))
+            return histogram.stats()
+
+        assert fill(7) == fill(7)
+
+    def test_from_samples_count_override(self):
+        stats = LatencyStats.from_samples([0.1, 0.2], count=1000)
+        assert stats.count == 1000
+        assert stats.max == 0.2
+
+    def test_from_samples_empty(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0
+        assert stats.p99 == 0.0
