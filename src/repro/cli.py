@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 import numpy as np
@@ -341,6 +342,108 @@ def cmd_serve(args) -> int:
             uninstall()
 
 
+def cmd_gateway(args) -> int:
+    import asyncio
+
+    from repro.obs import MetricsRegistry, TraceBuffer, install, uninstall
+    from repro.serving import HierarchicalRequestQueue, LabelingService
+    from repro.serving.gateway import LabelingGateway, TenantDirectory
+    from repro.zoo.oracle import GroundTruth
+
+    # Tenant roster: explicit file > environment JSON > demo roster.
+    if args.tenants_file is not None:
+        directory = TenantDirectory.from_file(args.tenants_file)
+        show_keys = False
+    elif os.environ.get("REPRO_GATEWAY_TENANTS"):
+        directory = TenantDirectory.from_env()
+        show_keys = False
+    else:
+        directory = TenantDirectory.demo(args.demo_tenants)
+        show_keys = True  # demo keys are public by construction
+    print(f"{'tenant':<12} {'weight':>6} {'rate':>8} {'burst':>6} "
+          f"{'inflight':>8}" + ("  api_key" if show_keys else ""))
+    for tenant in directory:
+        rate = "inf" if tenant.rate == float("inf") else f"{tenant.rate:.0f}"
+        row = (
+            f"{tenant.name:<12} {tenant.weight:>6.1f} {rate:>8} "
+            f"{tenant.burst:>6} {tenant.max_inflight:>8}"
+        )
+        print(row + (f"  {tenant.api_key}" if show_keys else ""))
+
+    registry = MetricsRegistry()
+    tracer = TraceBuffer(capacity=args.trace_buffer)
+    install(registry)
+    config, space, zoo = _world(args)
+    dataset = generate_dataset(space, config, args.dataset, args.items)
+    # Record once up front — the gateway labels the recorded catalog
+    # (the paper's record-then-replay protocol), so steady-state load
+    # measures serving + scheduling, never zoo execution.
+    truth = GroundTruth(zoo, dataset, config)
+    agent = make_agent(
+        args.algo, obs_dim=len(space), n_actions=len(zoo) + 1, hidden_size=args.hidden
+    )
+    if args.agent is not None:
+        agent.load(args.agent)
+    predictor = AgentPredictor(agent, len(zoo))
+    engine = LabelingEngine(zoo, predictor, config)
+    service = LabelingService(
+        engine,
+        backend=_backend(args),
+        batch_size=args.batch_size,
+        max_wait=args.max_wait,
+        workers=args.workers,
+        max_depth=args.max_depth,
+        truth=truth,
+        cache_size=args.cache_size or None,
+        registry=registry,
+        tracer=tracer,
+        # Tenant-fair dispatch: outer stride over tenants (weights from
+        # the roster), inner stride over batch keys within each tenant.
+        queue_factory=lambda **kw: HierarchicalRequestQueue(
+            tenant_weights=directory.weights(), **kw
+        ),
+    )
+    gateway = LabelingGateway(
+        service,
+        directory,
+        dataset,
+        registry=registry,
+        tracer=tracer,
+        host=args.host,
+        port=args.port,
+    )
+
+    async def run() -> None:
+        await gateway.start_async()
+        print(
+            f"gateway listening at {gateway.url}  "
+            f"({len(gateway.catalog)} items, {len(directory)} tenants)",
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await gateway.serve_forever()
+        finally:
+            await gateway.stop_async()
+
+    try:
+        with service:
+            try:
+                asyncio.run(run())
+            except KeyboardInterrupt:
+                pass
+            service.drain()
+        print(service.snapshot().format())
+        if service.cache is not None:
+            print(f"  result cache {service.cache.stats().format()}")
+        return 0
+    finally:
+        service.engine.backend.close()
+        uninstall()
+
+
 def _format_trace(trace: dict) -> str:
     """One human line per exported trace dict (the JSON span schema)."""
     timeline = "  ".join(
@@ -574,6 +677,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trace ring as JSON to this path at exit",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "gateway",
+        help="run the multi-tenant HTTP gateway over a recorded catalog",
+    )
+    p.add_argument("--dataset", default="mscoco2017")
+    p.add_argument(
+        "--items", type=int, default=128, help="catalog size to record and serve"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve this many seconds then exit (default: until interrupted)",
+    )
+    p.add_argument(
+        "--tenants-file",
+        default=None,
+        help="tenant roster JSON (see repro.serving.gateway.auth); "
+        "falls back to $REPRO_GATEWAY_TENANTS, then --demo-tenants",
+    )
+    p.add_argument(
+        "--demo-tenants",
+        type=int,
+        default=3,
+        help="size of the deterministic demo roster used when no "
+        "tenant config is given (keys demo-key-tenant-N)",
+    )
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument(
+        "--max-wait", type=float, default=0.02, help="flush timer, seconds"
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-depth", type=int, default=1024)
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="result-cache capacity (tenant-partitioned); 0 disables",
+    )
+    p.add_argument(
+        "--backend", default="batched", choices=sorted(BACKEND_REGISTRY)
+    )
+    p.add_argument("--agent", default=None, help="optional trained agent .npz")
+    p.add_argument("--algo", default="dueling_dqn", choices=sorted(AGENT_REGISTRY))
+    p.add_argument("--hidden", type=int, default=256)
+    p.add_argument("--trace-buffer", type=int, default=512)
+    p.set_defaults(func=cmd_gateway)
 
     p = sub.add_parser(
         "trace", help="tail request-trace spans from a serve endpoint or file"

@@ -18,6 +18,10 @@ Exported families (the full catalog lives in README "Observability"):
 * ``repro_queue_wait_seconds`` / ``repro_service_time_seconds`` summaries
 * ``repro_slo_*{regime}`` — completions, expiries, failures, deadline-miss
   ratio, time-to-first-result, end-to-end latency summary
+* ``repro_tenant_queue_wait_seconds{tenant}`` /
+  ``repro_tenant_slo_*{tenant}`` — the same views sliced per tenant, for
+  requests whose spec carried a :attr:`~repro.spec.LabelingSpec.tenant`
+  (the gateway's fairness and isolation numbers)
 * ``repro_cache_*`` and ``repro_backend_*`` when the service has a result
   cache / a chunk-counting backend
 
@@ -185,6 +189,47 @@ def service_families(service) -> list[MetricFamily]:
         families += _summary(
             "repro_slo_e2e_seconds",
             "Submit-to-completion latency per regime",
+            slo.e2e,
+            labels,
+        )
+    for tenant, stats in snap.tenant_queue_wait.items():
+        families += _summary(
+            "repro_tenant_queue_wait_seconds",
+            "Queue wait per request per tenant",
+            stats,
+            {"tenant": tenant},
+        )
+    for tenant, slo in snap.tenant_slo.items():
+        labels = {"tenant": tenant}
+        families += [
+            MetricFamily(
+                "repro_tenant_slo_completed_total",
+                "counter",
+                "Requests completed per tenant",
+                ((labels, slo.completed),),
+            ),
+            MetricFamily(
+                "repro_tenant_slo_expired_total",
+                "counter",
+                "Requests expired (admission deadline missed) per tenant",
+                ((labels, slo.expired),),
+            ),
+            MetricFamily(
+                "repro_tenant_slo_failed_total",
+                "counter",
+                "Requests failed per tenant",
+                ((labels, slo.failed),),
+            ),
+            MetricFamily(
+                "repro_tenant_slo_deadline_miss_ratio",
+                "gauge",
+                "expired / (completed + expired) per tenant",
+                ((labels, slo.deadline_miss_rate),),
+            ),
+        ]
+        families += _summary(
+            "repro_tenant_slo_e2e_seconds",
+            "Submit-to-completion latency per tenant",
             slo.e2e,
             labels,
         )

@@ -41,6 +41,7 @@ from repro.serving.queue import (
     ServiceStopped,
     ServingError,
 )
+from repro.serving.hierarchy import HierarchicalRequestQueue
 from repro.serving.result_cache import CacheStats, ResultCache
 from repro.spec import LabelingSpec
 from repro.serving.service import (
@@ -65,6 +66,7 @@ __all__ = [
     "DEFAULT_MAX_WAIT",
     "DEFAULT_WORKERS",
     "DeadlineExpired",
+    "HierarchicalRequestQueue",
     "LabelingRequest",
     "LabelingService",
     "LabelingSpec",

@@ -1,0 +1,135 @@
+"""Per-tenant admission control: token-bucket rate + in-flight caps.
+
+Two independent limits guard the service from any single tenant, both
+configured on the :class:`~repro.serving.gateway.auth.Tenant` record:
+
+* a **token bucket** bounds sustained request *rate* (``rate`` tokens
+  refilled per second, up to ``burst`` capacity), and
+* an **in-flight cap** bounds *concurrency* — requests admitted to the
+  service but not yet resolved.
+
+Both are enforced *before* the request touches the labeling service, so
+a throttled tenant costs one dict lookup and a float compare, never
+queue space.  A denied admission reports how long the caller should
+wait (:class:`Denied.retry_after`), which the gateway surfaces as a
+``Retry-After`` header on the 429.
+
+The token bucket is the classic lazy-refill formulation: no timers, no
+background thread — each ``try_acquire`` first credits ``elapsed *
+rate`` tokens (clamped to ``burst``) and then spends.  Deny does **not**
+consume tokens, so a rejected burst doesn't push the retry horizon out
+further (no punishment spiral under open-loop retry storms).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.serving.gateway.auth import Tenant
+
+__all__ = ["Denied", "TenantQuota", "TokenBucket"]
+
+#: Retry hint for in-flight cap breaches, where the true wait (one
+#: request completing) is unknowable at deny time.  One service
+#: micro-batch wait is the right order of magnitude.
+INFLIGHT_RETRY_HINT = 0.05
+
+
+@dataclass(frozen=True)
+class Denied:
+    """Why an admission was refused and when to try again."""
+
+    #: ``"rate_limit"`` (token bucket empty) or ``"inflight"`` (cap hit).
+    reason: str
+    #: Seconds until the acquisition could plausibly succeed.
+    retry_after: float
+
+
+class TokenBucket:
+    """Lazy-refill token bucket; thread-safe; monotonic-clock driven."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        if now > self._stamp:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Spend ``n`` tokens if available.
+
+        Returns ``0.0`` on success, else the seconds until ``n`` tokens
+        will have accrued (the caller's ``Retry-After``).  A denial
+        spends nothing.
+        """
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= n:
+                self._tokens -= n
+                return 0.0
+            return (n - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class TenantQuota:
+    """One tenant's live limits: token bucket + in-flight counter.
+
+    ``admit(n)`` checks the in-flight cap first (cheap, and a tenant at
+    its concurrency cap should not also burn rate tokens), then the
+    bucket; on success the in-flight counter is already incremented by
+    ``n`` and the caller **must** pair it with ``release(n)`` when the
+    requests resolve — the gateway does so from future callbacks, so
+    expired and failed requests release too.
+    """
+
+    def __init__(self, tenant: Tenant, clock=time.monotonic):
+        self.tenant = tenant
+        self.bucket = (
+            TokenBucket(tenant.rate, tenant.burst, clock)
+            if tenant.rate != float("inf")
+            else None
+        )
+        self.max_inflight = tenant.max_inflight
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    def admit(self, n: int = 1) -> Denied | None:
+        """Try to admit ``n`` requests; ``None`` means admitted."""
+        with self._lock:
+            if self._inflight + n > self.max_inflight:
+                return Denied("inflight", INFLIGHT_RETRY_HINT)
+            if self.bucket is not None:
+                retry_after = self.bucket.try_acquire(n)
+                if retry_after > 0.0:
+                    return Denied("rate_limit", retry_after)
+            self._inflight += n
+            return None
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - n)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight

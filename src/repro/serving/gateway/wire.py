@@ -1,0 +1,242 @@
+"""Minimal HTTP/1.1 over asyncio streams — just enough for the gateway.
+
+The gateway's wire needs are narrow: parse a request line + headers +
+content-length body off an :class:`asyncio.StreamReader`, write fixed
+responses, and write ``Transfer-Encoding: chunked`` streams for the
+NDJSON endpoint — all without blocking the event loop and all from the
+standard library.  This module is that, and nothing more: no TLS, no
+pipelining beyond serial keep-alive, no request chunked bodies (501),
+no HTTP/2.  Size limits on the header block and body protect the
+process from hostile or broken clients.
+
+Everything here is transport-only; routing, auth, and JSON semantics
+live in :mod:`repro.serving.gateway.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "ChunkedWriter",
+    "HttpRequest",
+    "WireError",
+    "read_request",
+    "response_bytes",
+]
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class WireError(Exception):
+    """A malformed/oversized request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: split target, lowercased header names."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> dict:
+        """Parse the body as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            obj = json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise WireError(400, "JSON body must be an object")
+        return obj
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def _readline(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise WireError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise WireError(431, "header line too long") from exc
+    if len(line) > limit:
+        raise WireError(431, "header line too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    line = await _readline(reader, MAX_REQUEST_LINE)
+    if not line:
+        return None
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise WireError(400, "malformed request line")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    seen = 0
+    while True:
+        line = await _readline(reader, MAX_HEADER_BYTES)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise WireError(400, "truncated headers")
+        seen += len(line)
+        if seen > MAX_HEADER_BYTES:
+            raise WireError(431, "header block too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise WireError(400, f"malformed header line {name!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise WireError(501, "chunked request bodies are not supported")
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise WireError(400, "invalid Content-Length") from exc
+        if length < 0:
+            raise WireError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise WireError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise WireError(400, "truncated body") from exc
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=split.path.rstrip("/") or "/",
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one fixed-length response."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_body(obj: dict) -> bytes:
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+class ChunkedWriter:
+    """``Transfer-Encoding: chunked`` response writer (NDJSON streams).
+
+    Usage: ``await start(...)`` once, ``await send(...)`` per chunk,
+    ``await finish()`` to close the stream (the connection can then
+    keep-alive into the next request).
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self._started = False
+        self._finished = False
+
+    async def start(
+        self,
+        status: int = 200,
+        *,
+        content_type: str = "application/x-ndjson",
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        assert not self._started
+        reason = REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            "Transfer-Encoding: chunked",
+            "Connection: keep-alive",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        self._started = True
+        await self._writer.drain()
+
+    async def send(self, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        if not data:
+            return
+        self._writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        self._writer.write(data)
+        self._writer.write(b"\r\n")
+        await self._writer.drain()
+
+    async def send_json_line(self, obj: dict) -> None:
+        await self.send(json.dumps(obj, separators=(",", ":")) + "\n")
+
+    async def finish(self) -> None:
+        if self._started and not self._finished:
+            self._writer.write(b"0\r\n\r\n")
+            self._finished = True
+            await self._writer.drain()

@@ -1,0 +1,221 @@
+"""Two-level stride fairness: tenant → batch_key dispatch buckets.
+
+The flat :class:`~repro.serving.queue.RequestQueue` arbitrates between
+*batch keys* — one stride pass over per-key FIFO buckets.  That is the
+right fairness unit for a single trusted caller hosting mixed regimes,
+but a multi-tenant gateway needs fairness between *callers* first: under
+the flat queue a hot tenant that spreads traffic over many batch keys
+(or simply outnumbers everyone in one key's FIFO) takes service share
+proportional to its arrival rate, and a cold tenant's p99 queue wait
+grows with the hot tenant's backlog.
+
+:class:`HierarchicalRequestQueue` extends the same stride machinery one
+level up.  Requests land in a bucket keyed ``(tenant, batch_key)``;
+batch formation picks the **tenant** by an outer stride pass first (one
+virtual-time ``pass`` per tenant, lowest wins, serving ``n`` items costs
+``n / tenant_weight``), then the **batch key** within that tenant by the
+inner stride pass the flat queue already runs (weights from request
+priority).  Both levels inherit the aging guarantee: a backlogged
+tenant's outer pass stands still while served tenants' advance, so every
+tenant with queued work is selected within a bounded number of batches
+no matter how hard another tenant pushes — and within a tenant, every
+batch key likewise.  Batches stay homogeneous *and* single-tenant.
+
+**Single-tenant parity.**  With all traffic from one tenant (or no
+tenant at all — ``spec.tenant is None`` is itself a tenant), the outer
+pass has exactly one entry, the inner level sees the same buckets in the
+same insertion order with the same charge formula as the flat queue, and
+the dispatch trace is *identical* to :class:`RequestQueue` —
+test-enforced in ``tests/test_hier_queue.py``.  The hierarchy only
+changes behaviour when there is more than one tenant to be fair between.
+
+Everything else — backpressure, deadline admission, ``expire_overdue``,
+draining, the ``pop_batch`` state machine — is inherited unchanged: the
+subclass only overrides where requests are stored and how the next
+bucket is chosen and charged.
+"""
+
+from __future__ import annotations
+
+from repro.serving.queue import (
+    LabelingRequest,
+    RequestQueue,
+    _Bucket,
+    priority_weight,
+)
+
+__all__ = ["HierarchicalRequestQueue"]
+
+
+class _TenantGroup:
+    """One tenant's buckets plus its outer-stride bookkeeping."""
+
+    __slots__ = ("tenant", "pass_value", "vtime", "buckets")
+
+    def __init__(self, tenant: str | None, pass_value: float):
+        self.tenant = tenant
+        #: Outer stride pass; the lowest-pass tenant is served next.
+        self.pass_value = pass_value
+        #: Inner virtual time — plays the role the flat queue's global
+        #: ``_vtime`` plays, scoped to this tenant's buckets.
+        self.vtime = 0.0
+        #: (tenant, batch_key) -> bucket, views into the queue's ``_buckets``.
+        self.buckets: dict[tuple, _Bucket] = {}
+
+    def head_seq(self) -> int | None:
+        """Earliest queued submission sequence across this tenant's
+        buckets (``None`` when every bucket is empty)."""
+        head: int | None = None
+        for bucket in self.buckets.values():
+            if bucket.items:
+                seq = bucket.items[0][0]
+                if head is None or seq < head:
+                    head = seq
+        return head
+
+
+class HierarchicalRequestQueue(RequestQueue):
+    """Tenant-fair request queue: outer stride per tenant, inner per key.
+
+    Accepts everything :class:`RequestQueue` does, plus:
+
+    Parameters
+    ----------
+    tenant_weights:
+        Optional mapping of tenant name to a positive service weight
+        (e.g. a paid tier served 4x the share of a free one).  Tenants
+        absent from the map — including the ``None`` tenant of
+        untenanted requests — get ``default_tenant_weight``.
+    default_tenant_weight:
+        Weight for tenants without an explicit entry (default ``1.0``).
+    """
+
+    def __init__(
+        self,
+        *args,
+        tenant_weights: dict[str, float] | None = None,
+        default_tenant_weight: float = 1.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if default_tenant_weight <= 0:
+            raise ValueError("default_tenant_weight must be positive")
+        for tenant, weight in (tenant_weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant weight for {tenant!r} must be positive, got {weight}"
+                )
+        self._tenant_weights = dict(tenant_weights or {})
+        self._default_tenant_weight = float(default_tenant_weight)
+        #: tenant -> group, exactly the tenants with queued traffic.
+        self._groups: dict[str | None, _TenantGroup] = {}
+        #: Outer stride virtual time (pass of the last-served tenant).
+        self._outer_vtime = 0.0
+
+    def tenant_weight(self, tenant: str | None) -> float:
+        """The outer-stride service weight of ``tenant``."""
+        return self._tenant_weights.get(tenant, self._default_tenant_weight)
+
+    # -- storage -------------------------------------------------------------
+
+    def _bucket_key(self, request: LabelingRequest):
+        return (request.tenant, request.batch_key)
+
+    def _store_locked(self, request: LabelingRequest) -> None:
+        tenant = request.tenant
+        group = self._groups.get(tenant)
+        if group is None:
+            group = self._groups[tenant] = _TenantGroup(tenant, self._outer_vtime)
+        elif group.head_seq() is None:
+            # Ready again after an idle stretch: re-enter the outer round
+            # at the current virtual time (keep any outstanding debt) —
+            # the same rule the flat queue applies to buckets.
+            group.pass_value = max(group.pass_value, self._outer_vtime)
+        key = (tenant, request.batch_key)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(key, group.vtime)
+            group.buckets[key] = bucket
+        elif not bucket.items:
+            bucket.pass_value = max(bucket.pass_value, group.vtime)
+        bucket.push(self._seq, request)
+        self._seq += 1
+        self._depth += 1
+
+    # -- selection / charging ------------------------------------------------
+
+    def _select_locked(self) -> _Bucket | None:
+        """Outer stride picks the tenant, inner stride picks its bucket.
+
+        Both levels rank by ``(pass_value, earliest head sequence)`` —
+        lowest pass wins, ties break FIFO by arrival — so one tenant's
+        selection logic is bit-identical to the flat queue's.
+        """
+        best_group: _TenantGroup | None = None
+        best_rank = None
+        for group in self._groups.values():
+            head = group.head_seq()
+            if head is None:
+                continue
+            rank = (group.pass_value, head)
+            if best_group is None or rank < best_rank:
+                best_group, best_rank = group, rank
+        if best_group is None:
+            return None
+        best: _Bucket | None = None
+        best_rank = None
+        for bucket in best_group.buckets.values():
+            if not bucket.items:
+                continue
+            rank = (bucket.pass_value, bucket.items[0][0])
+            if best is None or rank < best_rank:
+                best, best_rank = bucket, rank
+        return best
+
+    def _charge_locked(self, bucket: _Bucket, batch: list[LabelingRequest]) -> None:
+        """Advance both strides for one dispatched batch.
+
+        The bucket pays the flat queue's inner price (``n / priority
+        weight``) against its tenant's virtual time; the tenant pays
+        ``n / tenant_weight`` against the outer virtual time.  Every
+        *other* tenant's pass stands still — the aging guarantee that
+        bounds how long a cold tenant can wait behind a hot one.
+        """
+        tenant, _ = bucket.key
+        group = self._groups[tenant]
+        weight = priority_weight(max(r.priority for r in batch))
+        group.vtime = max(group.vtime, bucket.pass_value)
+        bucket.pass_value = group.vtime + len(batch) / weight
+        self._outer_vtime = max(self._outer_vtime, group.pass_value)
+        group.pass_value = self._outer_vtime + len(batch) / self.tenant_weight(
+            tenant
+        )
+
+    # -- pruning / lifecycle -------------------------------------------------
+
+    def _prune_locked(self) -> None:
+        super()._prune_locked()
+        stale = []
+        for tenant, group in self._groups.items():
+            for key in [k for k in group.buckets if k not in self._buckets]:
+                del group.buckets[key]
+            if not group.buckets:
+                stale.append(tenant)
+        for tenant in stale:
+            del self._groups[tenant]
+
+    def close(self) -> list[LabelingRequest]:
+        leftovers = super().close()
+        with self._cond:
+            self._groups.clear()
+        return leftovers
+
+    # -- introspection -------------------------------------------------------
+
+    def tenant_depths(self) -> dict[str | None, int]:
+        """Queued requests per tenant right now (live tenants only)."""
+        with self._cond:
+            out: dict[str | None, int] = {}
+            for (tenant, _), bucket in self._buckets.items():
+                out[tenant] = out.get(tenant, 0) + len(bucket.items)
+            return out

@@ -127,6 +127,11 @@ class LabelingRequest:
         """Grouping key: requests may share a batch iff their keys match."""
         return self.spec.batch_key if self.spec is not None else None
 
+    @property
+    def tenant(self) -> str | None:
+        """Owning tenant (``None`` for untenanted / in-process callers)."""
+        return self.spec.tenant if self.spec is not None else None
+
 
 @dataclass(frozen=True)
 class BulkAdmission:
@@ -242,9 +247,19 @@ class RequestQueue:
 
     # -- producer side -------------------------------------------------------
 
+    def _bucket_key(self, request: LabelingRequest):
+        """The bucket a request queues into (hook for subclasses).
+
+        The flat queue buckets purely by ``batch_key``;
+        :class:`~repro.serving.hierarchy.HierarchicalRequestQueue`
+        overrides this to ``(tenant, batch_key)`` so batches stay
+        single-tenant.
+        """
+        return request.batch_key
+
     def _store_locked(self, request: LabelingRequest) -> None:
         """Append one admitted request to its bucket, O(1)."""
-        key = request.batch_key
+        key = self._bucket_key(request)
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = self._buckets[key] = _Bucket(key, self._vtime)
@@ -257,7 +272,10 @@ class RequestQueue:
         self._depth += 1
 
     def _admit_locked(
-        self, request: LabelingRequest, deadline_at: float | None
+        self,
+        request: LabelingRequest,
+        deadline_at: float | None,
+        nowait: bool = False,
     ) -> str:
         """Admit one request under ``self._cond``; returns its fate.
 
@@ -266,7 +284,9 @@ class RequestQueue:
         (waiting for space until ``deadline_at`` under ``block``), push,
         and a consumer wake-up after every successful push — so a bulk
         producer that later blocks for space has already made its pushed
-        requests dispatchable.
+        requests dispatchable.  ``nowait`` refuses a full queue
+        immediately even under the ``block`` policy — the non-blocking
+        admission path event-loop callers need.
 
         Fates: ``"admitted"``, ``"expired"``, ``"rejected"`` (depth policy
         refused: rejecting while full, or block policy out of time),
@@ -277,7 +297,7 @@ class RequestQueue:
         if not self._admissible(request, self._clock()):
             return "expired"
         if self._len_locked() >= self.max_depth:
-            if self.overflow == "reject":
+            if nowait or self.overflow == "reject":
                 return "rejected"
             remaining = (
                 None if deadline_at is None else deadline_at - self._clock()
@@ -303,8 +323,14 @@ class RequestQueue:
             f"model cost {self.min_cost}s"
         )
 
-    def rejected_error(self, timeout: float | None) -> QueueFull:
+    def rejected_error(
+        self, timeout: float | None, nowait: bool = False
+    ) -> QueueFull:
         """The depth-refusal error under the current overflow policy."""
+        if nowait:
+            return QueueFull(
+                f"queue at max depth {self.max_depth} (nowait admission)"
+            )
         if self.overflow == "reject":
             return QueueFull(
                 f"queue at max depth {self.max_depth} (overflow policy: reject)"
@@ -314,27 +340,35 @@ class RequestQueue:
             f"for {timeout}s (overflow policy: block)"
         )
 
-    def put(self, request: LabelingRequest, timeout: float | None = None) -> None:
+    def put(
+        self,
+        request: LabelingRequest,
+        timeout: float | None = None,
+        nowait: bool = False,
+    ) -> None:
         """Admit one request, enforcing deadline and depth policies.
 
         Raises :class:`DeadlineExpired` when the request can never afford
         the cheapest model, :class:`QueueFull` when depth policy refuses
         it, and :class:`ServiceStopped` when the queue is closed.
+        ``nowait`` raises :class:`QueueFull` immediately on a full queue
+        regardless of the overflow policy — the producer never blocks.
         """
         deadline_at = None if timeout is None else self._clock() + timeout
         with self._cond:
-            fate = self._admit_locked(request, deadline_at)
+            fate = self._admit_locked(request, deadline_at, nowait=nowait)
         if fate == "stopped":
             raise ServiceStopped("queue is not accepting new requests")
         if fate == "expired":
             raise self.expired_error(request)
         if fate == "rejected":
-            raise self.rejected_error(timeout)
+            raise self.rejected_error(timeout, nowait=nowait)
 
     def put_many(
         self,
         requests: list[LabelingRequest],
         timeout: float | None = None,
+        nowait: bool = False,
     ) -> BulkAdmission:
         """Admit many requests under one lock round.
 
@@ -347,7 +381,8 @@ class RequestQueue:
         which raises :class:`ServiceStopped` before anything is admitted.
 
         Under ``block`` overflow, ``timeout`` bounds the *total* time spent
-        waiting for space across the whole call.
+        waiting for space across the whole call; ``nowait`` rejects on a
+        full queue immediately instead of waiting at all.
         """
         buckets: dict[str, list[LabelingRequest]] = {
             "admitted": [],
@@ -360,7 +395,9 @@ class RequestQueue:
             if self._closed or self._draining:
                 raise ServiceStopped("queue is not accepting new requests")
             for request in requests:
-                buckets[self._admit_locked(request, deadline_at)].append(request)
+                buckets[
+                    self._admit_locked(request, deadline_at, nowait=nowait)
+                ].append(request)
         return BulkAdmission(
             admitted=tuple(buckets["admitted"]),
             expired=tuple(buckets["expired"]),

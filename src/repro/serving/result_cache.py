@@ -132,8 +132,10 @@ class ResultCache:
     def settle(self, key: tuple, result=None, error=None) -> None:
         """Conclude a claimed key: cache the result, or just release it.
 
-        Called exactly once per claim, after the shared future has been
-        settled.  On success the result enters the LRU (evicting the
+        Called exactly once per claim, when the claimed work concludes
+        (the service settles the cache just *before* resolving the shared
+        future, so anyone reacting to that future already finds the
+        entry).  On success the result enters the LRU (evicting the
         least recently used entry past ``capacity``); on ``error`` the
         claim is simply dropped so a later submission retries — failures
         are never cached.

@@ -164,6 +164,14 @@ class LabelingService:
         Period in seconds of the queue sweep that settles requests whose
         admission deadline lapsed while queued (``None``/``0`` disables
         the sweep; they then settle when their bucket is next served).
+    queue_factory:
+        Optional callable building the admission queue; receives the
+        keyword arguments :class:`RequestQueue` takes (``max_depth``,
+        ``overflow``, ``min_cost``, ``clock``) and returns a
+        :class:`RequestQueue` (or subclass).  The gateway passes a
+        :class:`~repro.serving.hierarchy.HierarchicalRequestQueue`
+        factory here so dispatch is tenant-fair; defaults to the flat
+        queue.
     registry:
         Optional :class:`~repro.obs.registry.MetricsRegistry` the service
         binds itself to — one pull-time collector exporting the telemetry
@@ -198,6 +206,7 @@ class LabelingService:
         cache: ResultCache | None = None,
         cache_size: int | None = None,
         expiry_interval: float | None = DEFAULT_EXPIRY_INTERVAL,
+        queue_factory=None,
         registry: MetricsRegistry | None = None,
         tracer: TraceBuffer | None = None,
         clock=time.monotonic,
@@ -244,9 +253,15 @@ class LabelingService:
         self.expiry_interval = expiry_interval
         self._clock = clock
         min_cost = float(engine.zoo.times.min()) if len(engine.zoo) else 0.0
-        self.queue = RequestQueue(
+        make_queue = queue_factory or RequestQueue
+        self.queue = make_queue(
             max_depth=max_depth, overflow=overflow, min_cost=min_cost, clock=clock
         )
+        if not isinstance(self.queue, RequestQueue):
+            raise TypeError(
+                "queue_factory must build a RequestQueue, got "
+                f"{type(self.queue).__name__}"
+            )
         self.telemetry = telemetry or ServiceTelemetry(clock=clock)
         self.tracer = tracer
         self.registry = registry
@@ -310,6 +325,7 @@ class LabelingService:
         priority: int | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
+        nowait: bool = False,
     ) -> Future:
         """Enqueue one item; returns a future resolving to its result.
 
@@ -322,7 +338,8 @@ class LabelingService:
         if the budget runs out while queued) — distinct from the spec's
         scheduling deadline.  A full queue raises :class:`QueueFull` under
         the ``reject`` policy, or blocks up to ``timeout`` under
-        ``block``.
+        ``block``; ``nowait=True`` raises :class:`QueueFull` immediately
+        either way (the calling thread never blocks on backpressure).
 
         With a result cache, a submission whose ``(item_id, batch_key)``
         is already cached resolves immediately without queueing, and one
@@ -370,7 +387,7 @@ class LabelingService:
             # request (or a transiently negative pending count).
             self._pending += 1
         try:
-            self.queue.put(request, timeout=timeout)
+            self.queue.put(request, timeout=timeout, nowait=nowait)
         except BaseException as exc:
             with self._state:
                 self._pending -= 1
@@ -398,6 +415,7 @@ class LabelingService:
         priority: int | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
+        nowait: bool = False,
     ) -> list[Future]:
         """Bulk-submit items under one shared spec; one future per item.
 
@@ -412,6 +430,9 @@ class LabelingService:
         With a result cache, cached items resolve immediately, duplicates
         of in-flight keys (including duplicates *within* this call) share
         one future, and only first-flight items are enqueued.
+        ``nowait=True`` turns queue-full waits into immediate per-item
+        rejections (the corresponding futures fail with
+        :class:`QueueFull`).
         """
         items = list(items)
         resolved = self._request_spec(spec, priority)
@@ -471,7 +492,7 @@ class LabelingService:
                 raise error
             self._pending += len(requests)
         try:
-            outcome = self.queue.put_many(requests, timeout=timeout)
+            outcome = self.queue.put_many(requests, timeout=timeout, nowait=nowait)
         except BaseException as exc:
             with self._state:
                 self._pending -= len(requests)
@@ -490,7 +511,9 @@ class LabelingService:
             self._resolve(request, error=self.queue.expired_error(request))
         for request in outcome.rejected:
             self.telemetry.count("rejected")
-            self._resolve(request, error=self.queue.rejected_error(timeout))
+            self._resolve(
+                request, error=self.queue.rejected_error(timeout, nowait=nowait)
+            )
         for request in outcome.stopped:
             self.telemetry.count("cancelled")
             self._resolve(
@@ -518,15 +541,65 @@ class LabelingService:
 
         Admission itself still happens synchronously on the calling
         thread: under ``overflow="block"`` a full queue blocks the event
-        loop for up to ``timeout``.  Loop-sensitive callers should prefer
-        ``overflow="reject"`` (and retry on :class:`QueueFull`) or wrap
-        the call in ``loop.run_in_executor``.
+        loop for up to ``timeout``.  Loop-sensitive callers should use
+        :meth:`submit_nowait_async` instead — it never blocks the loop,
+        turning bounded-queue backpressure into an immediate
+        :class:`QueueFull` the caller converts into retry/shed logic
+        (e.g. the gateway's 429 + ``Retry-After``).  The historical
+        alternatives — ``overflow="reject"`` service-wide, or wrapping
+        this call in ``loop.run_in_executor`` — still work but are no
+        longer necessary.
         """
         return asyncio.wrap_future(
             self.submit(
                 item, spec, priority=priority, deadline=deadline, timeout=timeout
             )
         )
+
+    def submit_nowait_async(
+        self,
+        item: DataItem,
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
+        deadline: float | None = None,
+    ) -> asyncio.Future:
+        """:meth:`submit_async` that never blocks the event loop.
+
+        Admission is strictly non-blocking: a full queue raises
+        :class:`QueueFull` *immediately* (regardless of the service's
+        overflow policy) instead of parking the event-loop thread in the
+        queue's condition wait.  This is the submission path a network
+        front end should use — the PR-5 sync-admission caveat on
+        :meth:`submit_async` does not apply here.
+        """
+        return asyncio.wrap_future(
+            self.submit(
+                item, spec, priority=priority, deadline=deadline, nowait=True
+            )
+        )
+
+    def submit_many_nowait_async(
+        self,
+        items: Iterable[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
+        deadline: float | None = None,
+    ) -> list[asyncio.Future]:
+        """Bulk :meth:`submit_nowait_async`: non-blocking, input-ordered.
+
+        Per-item queue-full rejections surface on the corresponding
+        awaitables as :class:`QueueFull` (never raised mid-call), so a
+        streaming front end can shed the overflow items and serve the
+        rest.
+        """
+        return [
+            asyncio.wrap_future(future)
+            for future in self.submit_many(
+                items, spec, priority=priority, deadline=deadline, nowait=True
+            )
+        ]
 
     def submit_many_async(
         self,
@@ -690,21 +763,27 @@ class LabelingService:
         (completions with their end-to-end latency) and retires its trace
         span — this is the single point all fates flow through.
         """
+        # Cache before future: a client that reacts to its resolved
+        # future by immediately re-submitting (or probing cachedness —
+        # the gateway's ``cached`` flag) must observe the settled entry.
+        if self.cache is not None and request.cache_key is not None:
+            self.cache.settle(request.cache_key, result=result, error=error)
         if error is not None:
             request.future.set_exception(error)
         else:
             request.future.set_result(result)
-        if self.cache is not None and request.cache_key is not None:
-            self.cache.settle(request.cache_key, result=result, error=error)
         stage = _terminal_stage(error)
         self._finish_trace(request, stage)
         spec = request.spec or self.default_spec
         if stage == "completed":
             self.telemetry.observe_outcome(
-                spec.regime, "completed", self._clock() - request.submitted_at
+                spec.regime,
+                "completed",
+                self._clock() - request.submitted_at,
+                tenant=spec.tenant,
             )
         elif stage in ("expired", "failed"):
-            self.telemetry.observe_outcome(spec.regime, stage)
+            self.telemetry.observe_outcome(spec.regime, stage, tenant=spec.tenant)
         with self._state:
             self._pending -= 1
             self._state.notify_all()
@@ -753,7 +832,9 @@ class LabelingService:
             if not batch:
                 continue
             for request in batch:
-                self.telemetry.observe_queue_wait(now - request.submitted_at)
+                self.telemetry.observe_queue_wait(
+                    now - request.submitted_at, tenant=request.tenant
+                )
             # The queue guarantees batch homogeneity, so the first
             # request's spec speaks for the whole batch.
             spec = batch[0].spec

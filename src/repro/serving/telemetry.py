@@ -221,6 +221,11 @@ class TelemetrySnapshot:
     #: Per-regime SLO view (deadline-miss rate, time-to-first-result,
     #: end-to-end latency); only regimes that saw settled traffic appear.
     slo: dict[str, RegimeSLO] = field(default_factory=dict)
+    #: Queue-wait distribution per tenant; only tenants whose requests
+    #: carried a :attr:`~repro.spec.LabelingSpec.tenant` appear.
+    tenant_queue_wait: dict[str, LatencyStats] = field(default_factory=dict)
+    #: Per-tenant SLO view (same shape as :attr:`slo`, keyed by tenant).
+    tenant_slo: dict[str, RegimeSLO] = field(default_factory=dict)
 
     @property
     def batches(self) -> int:
@@ -278,6 +283,10 @@ class TelemetrySnapshot:
         ]
         for regime, slo in sorted(self.slo.items()):
             lines.append(f"  slo[{regime}]  {slo.format()}")
+        for tenant, stats in sorted(self.tenant_queue_wait.items()):
+            lines.append(f"  wait[{tenant}]  {stats.format()}")
+        for tenant, slo in sorted(self.tenant_slo.items()):
+            lines.append(f"  tenant[{tenant}]  {slo.format()}")
         lines.append(
             f"  now         queue depth {self.queue_depth}, in flight {self.in_flight}"
         )
@@ -309,6 +318,8 @@ class ServiceTelemetry:
         self._queue_wait = LatencyHistogram(self._capacity, seed=1)
         self._service_time = LatencyHistogram(self._capacity, seed=2)
         self._slo: dict[str, _RegimeSLOAccumulator] = {}
+        self._tenant_queue_wait: dict[str, LatencyHistogram] = {}
+        self._tenant_slo: dict[str, _RegimeSLOAccumulator] = {}
 
     def reset(self) -> None:
         """Zero every counter and histogram; restarts the elapsed clock."""
@@ -323,9 +334,22 @@ class ServiceTelemetry:
         with self._lock:
             self._counters[name] += n
 
-    def observe_queue_wait(self, seconds: float) -> None:
+    def observe_queue_wait(self, seconds: float, tenant: str | None = None) -> None:
+        """Record one request's queue wait, optionally against its tenant.
+
+        The global distribution always moves; a ``tenant`` additionally
+        lands the sample in that tenant's own histogram — the per-tenant
+        p99 the gateway's fairness guarantee is judged by.
+        """
         with self._lock:
             self._queue_wait.observe(seconds)
+            if tenant is not None:
+                hist = self._tenant_queue_wait.get(tenant)
+                if hist is None:
+                    hist = self._tenant_queue_wait[tenant] = LatencyHistogram(
+                        self._capacity, seed=4
+                    )
+                hist.observe(seconds)
 
     def observe_service_time(self, seconds: float) -> None:
         with self._lock:
@@ -344,13 +368,19 @@ class ServiceTelemetry:
                 self._regimes[regime] = self._regimes.get(regime, 0) + size
 
     def observe_outcome(
-        self, regime: str, outcome: str, e2e_seconds: float | None = None
+        self,
+        regime: str,
+        outcome: str,
+        e2e_seconds: float | None = None,
+        tenant: str | None = None,
     ) -> None:
         """Record one settled request against ``regime``'s SLO view.
 
         ``outcome`` is one of :data:`SLO_OUTCOMES`; completions should pass
         their submit→completion latency as ``e2e_seconds`` so the per-regime
-        distribution and time-to-first-result stay populated.
+        distribution and time-to-first-result stay populated.  A ``tenant``
+        additionally lands the outcome in that tenant's own SLO
+        accumulator (same shape, keyed by tenant in the snapshot).
         """
         if outcome not in _OUTCOME_SET:
             raise ValueError(
@@ -358,12 +388,19 @@ class ServiceTelemetry:
                 f"expected one of {sorted(_OUTCOME_SET)}"
             )
         with self._lock:
-            acc = self._slo.get(regime)
-            if acc is None:
-                acc = self._slo[regime] = _RegimeSLOAccumulator(self._capacity)
-            setattr(acc, outcome, getattr(acc, outcome) + 1)
-            if outcome == "completed":
-                if e2e_seconds is not None:
+            accs = [self._slo.get(regime)]
+            if accs[0] is None:
+                accs[0] = self._slo[regime] = _RegimeSLOAccumulator(self._capacity)
+            if tenant is not None:
+                tacc = self._tenant_slo.get(tenant)
+                if tacc is None:
+                    tacc = self._tenant_slo[tenant] = _RegimeSLOAccumulator(
+                        self._capacity
+                    )
+                accs.append(tacc)
+            for acc in accs:
+                setattr(acc, outcome, getattr(acc, outcome) + 1)
+                if outcome == "completed" and e2e_seconds is not None:
                     acc.e2e.observe(e2e_seconds)
                     if acc.first_result_s is None:
                         acc.first_result_s = e2e_seconds
@@ -400,4 +437,12 @@ class ServiceTelemetry:
                 queue_wait=self._queue_wait.stats(),
                 service_time=self._service_time.stats(),
                 slo={regime: acc.snapshot() for regime, acc in self._slo.items()},
+                tenant_queue_wait={
+                    tenant: hist.stats()
+                    for tenant, hist in self._tenant_queue_wait.items()
+                },
+                tenant_slo={
+                    tenant: acc.snapshot()
+                    for tenant, acc in self._tenant_slo.items()
+                },
             )

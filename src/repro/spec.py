@@ -62,6 +62,13 @@ class LabelingSpec:
         ``submit(deadline=…)`` argument).  A policy that *requires* a
         constraint the spec lacks (``"deadline"`` without a deadline) is
         rejected.
+    tenant:
+        Serving-tier tenant identity (the gateway sets it from the
+        authenticated API key).  Like ``priority`` it never changes
+        scheduling semantics, so it is excluded from :attr:`batch_key` —
+        but it *is* part of :meth:`cache_key`, so one tenant's cached
+        labels are never served to another, and the hierarchical queue
+        buckets by ``tenant → batch_key`` for cross-tenant fairness.
     """
 
     deadline: float | None = None
@@ -69,6 +76,7 @@ class LabelingSpec:
     max_models: int | None = None
     priority: int = 0
     policy: str | None = None
+    tenant: str | None = None
 
     def __post_init__(self):
         if self.deadline is not None and self.deadline < 0:
@@ -136,9 +144,13 @@ class LabelingSpec:
         :attr:`batch_key` captures — so two specs that may share a batch
         also share cached results (and ``priority``, which never changes
         scheduling semantics, is excluded along with ignored constraints).
-        Used by :class:`~repro.serving.result_cache.ResultCache`.
+        ``tenant`` *is* part of the key even though it does not change the
+        result either: cached labels are tenant-scoped so one tenant's
+        traffic can never observe (via latency or payload) what another
+        tenant labeled.  Used by
+        :class:`~repro.serving.result_cache.ResultCache`.
         """
-        return (item_id, self.batch_key)
+        return (self.tenant, item_id, self.batch_key)
 
     # -- construction --------------------------------------------------------
 
@@ -156,6 +168,7 @@ class LabelingSpec:
         max_models: int | None = None,
         priority: int | None = None,
         policy: str | None = None,
+        tenant: str | None = None,
     ) -> "LabelingSpec":
         """Normalize one labeling call's constraints into a single spec.
 
@@ -172,6 +185,7 @@ class LabelingSpec:
                 ("max_models", max_models),
                 ("priority", priority),
                 ("policy", policy),
+                ("tenant", tenant),
             )
             if value is not None
         }

@@ -8,7 +8,12 @@ import pytest
 from repro.engine import LabelingEngine
 from repro.rl.agents import make_agent
 from repro.scheduling.qgreedy import AgentPredictor, QValuePredictor
-from repro.serving import DeadlineExpired, LabelingService, ServiceStopped
+from repro.serving import (
+    DeadlineExpired,
+    LabelingService,
+    QueueFull,
+    ServiceStopped,
+)
 from repro.spec import LabelingSpec
 
 
@@ -131,6 +136,33 @@ class TestSubmitAsync:
                 with pytest.raises(RuntimeError, match="predictor exploded"):
                     await future
                 service.drain()
+
+        asyncio.run(run())
+
+    def test_nowait_variant_raises_queue_full_without_blocking(
+        self, engine, truth, items
+    ):
+        # The gateway's admission path: against a full queue under the
+        # *blocking* overflow policy, submit_async would park the event
+        # loop thread until space appeared; submit_nowait_async must
+        # instead raise QueueFull synchronously so callers can answer 429.
+        async def run():
+            service = LabelingService(
+                engine, batch_size=4, truth=truth, max_depth=2, overflow="block"
+            )
+            # never started: nothing drains, the queue genuinely fills
+            service.submit_nowait_async(items[0])
+            service.submit_nowait_async(items[1])
+            started = asyncio.get_running_loop().time()
+            with pytest.raises(QueueFull, match="nowait"):
+                service.submit_nowait_async(items[2])
+            assert asyncio.get_running_loop().time() - started < 1.0
+            # the bulk variant sheds per item: rejections land on the
+            # awaitables so accepted siblings still serve
+            futures = service.submit_many_nowait_async(items[2:4])
+            outcome = await asyncio.gather(*futures, return_exceptions=True)
+            assert all(isinstance(r, QueueFull) for r in outcome)
+            service.queue.close()
 
         asyncio.run(run())
 

@@ -194,6 +194,24 @@ class TestServiceCacheIntegration:
         assert counters["submitted"] == 2
         assert counters["submitted_many"] == 1
 
+    def test_cache_is_partitioned_by_tenant(self, engine, truth, items):
+        # Cross-tenant isolation regression: a tenant-qualified spec has a
+        # tenant-qualified cache key, so tenant b's first submission of an
+        # item tenant a already labeled is a miss (fresh flight), while a
+        # repeat from tenant a is a hit on a's own entry.
+        service = cached_service(engine, truth)
+        with service:
+            spec_a = LabelingSpec(deadline=0.35, tenant="a")
+            spec_b = LabelingSpec(deadline=0.35, tenant="b")
+            first = service.submit(items[0], spec_a).result(timeout=10)
+            repeat = service.submit(items[0], spec_a)
+            assert repeat.done() and repeat.result() is first
+            other = service.submit(items[0], spec_b).result(timeout=10)
+            assert other is not first
+        counters = service.snapshot().counters
+        assert counters["cache_miss"] == 2  # one flight per tenant
+        assert counters["cache_hit"] == 1
+
     def test_eviction_and_reflight_keep_shared_truth_clean(
         self, engine, zoo, world_config, items
     ):

@@ -117,6 +117,34 @@ class TestBatchKey:
         spec = LabelingSpec(deadline=0.5, memory_budget=8000.0)
         assert hash(spec.batch_key) == hash(spec.with_(priority=5).batch_key)
 
+    def test_tenant_is_not_part_of_the_key(self):
+        # tenancy is a fairness concern (the hierarchical queue's outer
+        # level), not a scheduling constraint: two tenants with the same
+        # constraints share a regime bucket
+        assert (
+            LabelingSpec(deadline=0.5, tenant="a").batch_key
+            == LabelingSpec(deadline=0.5, tenant="b").batch_key
+        )
+
+
+class TestTenant:
+    def test_tenant_defaults_to_none_and_resolves(self):
+        assert LabelingSpec().tenant is None
+        assert LabelingSpec.resolve(None, tenant="acme").tenant == "acme"
+
+    def test_cache_key_is_tenant_partitioned(self):
+        # unlike batch_key, the cache key MUST include the tenant: cached
+        # labels are tenant-visible state and may not leak across tenants
+        a = LabelingSpec(deadline=0.5, tenant="a").cache_key("item-1")
+        b = LabelingSpec(deadline=0.5, tenant="b").cache_key("item-1")
+        anon = LabelingSpec(deadline=0.5).cache_key("item-1")
+        assert len({a, b, anon}) == 3
+
+    def test_same_tenant_same_constraints_share_cache(self):
+        assert LabelingSpec(deadline=0.5, tenant="a").cache_key(
+            "item-1"
+        ) == LabelingSpec(deadline=0.5, tenant="a").cache_key("item-1")
+
 
 class TestResolve:
     def test_kwargs_build_a_spec(self):
