@@ -148,7 +148,11 @@ def main(argv: list[str] | None = None) -> int:
             deadline=args.deadline,
             repeats=args.repeats,
         )
+        # The cluster backend needs a worker fleet and measures dispatch
+        # overlap, not single-host scheduling; bench_cluster_scaling.py
+        # owns that comparison.
         for name in sorted(BACKEND_REGISTRY)
+        if name != "cluster"
     }
     regime = "unconstrained" if args.deadline is None else f"deadline={args.deadline}"
     print(

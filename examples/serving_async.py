@@ -7,10 +7,11 @@ Run with::
 The :class:`~repro.serving.LabelingService` is front-end-agnostic: its
 queue, micro-batcher, and result cache all operate on plain
 ``concurrent.futures`` futures, so an event-loop application — a web
-handler, a websocket gateway — talks to the same service through
-:meth:`~repro.serving.LabelingService.submit_async` /
-:meth:`~repro.serving.LabelingService.submit_many_async`, which wrap
-those futures for ``await`` on the calling loop.
+handler, a websocket gateway — talks to the same service through the
+unified :meth:`~repro.serving.LabelingService.submit` /
+:meth:`~repro.serving.LabelingService.submit_many` with
+``wait="async"``, which admits without blocking the loop and wraps the
+futures for ``await``.
 
 Two coroutines share one service here:
 
@@ -46,7 +47,7 @@ async def camera_feed(service: LabelingService, frames) -> int:
     labeled = 0
     spec = LabelingSpec(deadline=0.25, priority=2)
     for frame in frames:
-        result = await service.submit_async(frame, spec)
+        result = await service.submit(frame, spec, wait="async")
         labeled += 1
         if labeled <= 3:  # show a few, stay quiet afterwards
             names = ", ".join(result.label_names[:4]) or "<nothing valuable>"
@@ -56,8 +57,8 @@ async def camera_feed(service: LabelingService, frames) -> int:
 
 async def archive_backfill(service: LabelingService, items) -> tuple[int, int]:
     """Bulk-submit, gather, then replay the slice against the cache."""
-    first = await asyncio.gather(*service.submit_many_async(items))
-    again = await asyncio.gather(*service.submit_many_async(items))
+    first = await asyncio.gather(*service.submit_many(items, wait="async"))
+    again = await asyncio.gather(*service.submit_many(items, wait="async"))
     assert [r.item_id for r in again] == [r.item_id for r in first]
     return len(first), len(again)
 

@@ -30,8 +30,12 @@ from repro.core.framework import AdaptiveModelScheduler, LabelingResult
 from repro.spec import LabelingSpec
 from repro.engine import (
     BatchedBackend,
+    ClusterBackend,
+    ClusterConfig,
     LabelingEngine,
+    ProcessConfig,
     SerialBackend,
+    ThreadConfig,
     ThreadPoolBackend,
     make_backend,
 )
@@ -56,6 +60,10 @@ __all__ = [
     "LabelingEngine",
     "SerialBackend",
     "BatchedBackend",
+    "ClusterBackend",
+    "ClusterConfig",
+    "ProcessConfig",
+    "ThreadConfig",
     "ThreadPoolBackend",
     "make_backend",
     "LabelingService",

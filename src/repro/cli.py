@@ -15,7 +15,10 @@ Subcommands mirror the adoption workflow:
   ``--metrics-port`` additionally serves live Prometheus/JSON metrics and
   request traces over HTTP while the run is in flight;
 * ``trace``    — tail finished request-trace spans from a running
-  ``serve --metrics-port`` endpoint (or from a ``--trace-export`` file).
+  ``serve --metrics-port`` endpoint (or from a ``--trace-export`` file);
+* ``cluster-worker`` — run one scheduling worker process for
+  ``--backend cluster`` (the dispatcher ships it the world on connect;
+  point ``--workers host:port,host:port`` at the printed addresses).
 
 ``--log-level`` turns on stdlib logging for the ``repro.*`` loggers
 (service lifecycle, worker-pool respawns, shm transport fallbacks, cache
@@ -42,7 +45,13 @@ import numpy as np
 
 from repro.config import TrainConfig, WorldConfig
 from repro.data.datasets import generate_dataset
-from repro.engine import BACKEND_REGISTRY, LabelingEngine, make_backend
+from repro.engine import (
+    BACKEND_REGISTRY,
+    ClusterConfig,
+    LabelingEngine,
+    ProcessConfig,
+    ThreadConfig,
+)
 from repro.graph import build_relationship_graph
 from repro.labels import build_label_space
 from repro.persistence import load_ground_truth, save_ground_truth
@@ -60,17 +69,55 @@ def _world(args) -> tuple:
     return config, space, zoo
 
 
-def _backend(args):
-    """Backend instance (or registry name) from --backend/--workers flags.
+def _workers_arg(value: str):
+    """argparse type for --workers: a pool size or a host:port list."""
+    if ":" in value:
+        addresses = tuple(part.strip() for part in value.split(",") if part.strip())
+        if not addresses:
+            raise argparse.ArgumentTypeError("empty worker address list")
+        return addresses
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a pool size or a host:port[,host:port...] list, "
+            f"got {value!r}"
+        ) from None
 
-    The pooled backends take a worker count; ``--workers`` sizes the
-    thread pool or, for ``--backend process``, the pool of scheduling
-    worker *processes* that escape the GIL.
+
+def _backend(args):
+    """Typed backend config (or registry name) from --backend/--workers.
+
+    ``--workers`` sizes the thread/process pool.  With ``--backend
+    cluster`` it instead controls the fleet: an integer spawns that many
+    local worker processes, while a comma-separated ``host:port`` list
+    connects to already-running ``cluster-worker`` processes.
     """
     workers = getattr(args, "workers", None)
-    if args.backend in ("thread", "process"):
-        return make_backend(args.backend, max_workers=workers)
+    addresses = workers if isinstance(workers, tuple) else ()
+    count = workers if isinstance(workers, int) else None
+    if addresses and args.backend != "cluster":
+        raise SystemExit(
+            f"--workers {','.join(addresses)}: host:port worker lists "
+            f"require --backend cluster"
+        )
+    if args.backend == "thread":
+        return ThreadConfig(max_workers=count)
+    if args.backend == "process":
+        return ProcessConfig(max_workers=count)
+    if args.backend == "cluster":
+        if addresses:
+            return ClusterConfig(workers=addresses)
+        return ClusterConfig(local_workers=count or 2)
     return args.backend
+
+
+def _service_workers(args) -> int:
+    """Service worker-thread count from the (possibly address-list) flag."""
+    workers = getattr(args, "workers", None)
+    if isinstance(workers, tuple):
+        return max(2, len(workers))
+    return workers if workers is not None else 2
 
 
 def cmd_record(args) -> int:
@@ -252,7 +299,7 @@ def cmd_serve(args) -> int:
         backend=_backend(args),
         batch_size=args.batch_size,
         max_wait=args.max_wait,
-        workers=args.workers,
+        workers=_service_workers(args),
         max_depth=args.max_depth,
         overflow=args.overflow,
         spec=service_spec,
@@ -308,7 +355,7 @@ def cmd_serve(args) -> int:
             f"served {args.items} generated items from {args.clients} clients "
             f"at ~{args.rate:.0f} req/s, {regimes} "
             f"[batch {args.batch_size}, max_wait {args.max_wait * 1000:.0f}ms, "
-            f"{args.workers} workers, {args.backend} backend]"
+            f"{_service_workers(args)} workers, {args.backend} backend]"
         )
         snapshot = service.snapshot()
         print(snapshot.format())
@@ -391,7 +438,7 @@ def cmd_gateway(args) -> int:
         backend=_backend(args),
         batch_size=args.batch_size,
         max_wait=args.max_wait,
-        workers=args.workers,
+        workers=_service_workers(args),
         max_depth=args.max_depth,
         truth=truth,
         cache_size=args.cache_size or None,
@@ -442,6 +489,25 @@ def cmd_gateway(args) -> int:
     finally:
         service.engine.backend.close()
         uninstall()
+
+
+def cmd_cluster_worker(args) -> int:
+    from repro.engine import ClusterWorker
+
+    worker = ClusterWorker(
+        host=args.host, port=args.port, delay_per_item=args.delay_per_item
+    )
+    # The dispatcher ships the world on connect, so the worker is
+    # stateless here: print the address for --backend cluster
+    # --workers host:port lists and block in the accept loop.
+    print(f"cluster worker listening at {worker.address}", flush=True)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.stop()
+    return 0
 
 
 def _format_trace(trace: dict) -> str:
@@ -569,9 +635,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=None,
-        help="pool size for --backend thread/process (default: cpu count)",
+        help="pool size for --backend thread/process/cluster (default: cpu "
+        "count; cluster: 2), or a host:port,host:port list of running "
+        "cluster-worker processes for --backend cluster",
     )
     p.add_argument("--batch-size", type=int, default=64)
     p.add_argument("--verbose", action="store_true")
@@ -601,10 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=2,
-        help="engine worker threads; with --backend process also the "
-        "number of scheduling worker processes",
+        help="engine worker threads; with --backend process/cluster also "
+        "the number of scheduling worker processes, or a "
+        "host:port,host:port list of running cluster-worker processes "
+        "for --backend cluster",
     )
     p.add_argument("--max-depth", type=int, default=1024)
     p.add_argument("--overflow", default="block", choices=("block", "reject"))
@@ -713,7 +783,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-wait", type=float, default=0.02, help="flush timer, seconds"
     )
-    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=2,
+        help="worker threads / scheduling processes, or a host:port list "
+        "for --backend cluster",
+    )
     p.add_argument("--max-depth", type=int, default=1024)
     p.add_argument(
         "--cache-size",
@@ -729,6 +805,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hidden", type=int, default=256)
     p.add_argument("--trace-buffer", type=int, default=512)
     p.set_defaults(func=cmd_gateway)
+
+    p = sub.add_parser(
+        "cluster-worker",
+        help="run one cluster scheduling worker for --backend cluster",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--delay-per-item",
+        type=float,
+        default=0.0,
+        help="artificial per-item seconds after each chunk's scheduling "
+        "pass, emulating model-execution latency (benchmarking aid)",
+    )
+    p.set_defaults(func=cmd_cluster_worker)
 
     p = sub.add_parser(
         "trace", help="tail request-trace spans from a serve endpoint or file"

@@ -9,7 +9,6 @@ here; heavy-traffic callers can use the engine directly.
 """
 
 from repro.engine.backends import (
-    BACKEND_REGISTRY,
     BatchedBackend,
     ExecutionBackend,
     LabelingJob,
@@ -17,32 +16,65 @@ from repro.engine.backends import (
     SerialBackend,
     ShmPayload,
     ThreadPoolBackend,
-    make_backend,
     schedule_one_item,
 )
+from repro.engine.cluster import (
+    ClusterBackend,
+    ClusterWorker,
+    LocalWorkerFleet,
+    WorkerDied,
+    spawn_local_workers,
+)
+from repro.engine.config import (
+    BACKEND_REGISTRY,
+    BackendConfig,
+    BatchedConfig,
+    ClusterConfig,
+    ProcessConfig,
+    SerialConfig,
+    ThreadConfig,
+    make_backend,
+)
 from repro.engine.shm import RingSpec, SlotRing
-from repro.engine.snapshot import WorldSnapshot
+from repro.engine.snapshot import (
+    WorldSnapshot,
+    capture_predictor,
+    restore_predictor,
+)
 from repro.engine.engine import DEFAULT_BATCH_SIZE, LabelingEngine
 from repro.engine.results import LabelingResult, result_from_trace
 from repro.spec import LabelingSpec
 
 __all__ = [
     "BACKEND_REGISTRY",
+    "BackendConfig",
     "BatchedBackend",
+    "BatchedConfig",
+    "ClusterBackend",
+    "ClusterConfig",
+    "ClusterWorker",
     "DEFAULT_BATCH_SIZE",
     "ExecutionBackend",
     "LabelingEngine",
     "LabelingJob",
     "LabelingResult",
     "LabelingSpec",
+    "LocalWorkerFleet",
+    "ProcessConfig",
     "ProcessPoolBackend",
     "RingSpec",
     "SerialBackend",
+    "SerialConfig",
     "ShmPayload",
     "SlotRing",
+    "ThreadConfig",
     "ThreadPoolBackend",
+    "WorkerDied",
     "WorldSnapshot",
+    "capture_predictor",
     "make_backend",
+    "restore_predictor",
     "result_from_trace",
     "schedule_one_item",
+    "spawn_local_workers",
 ]

@@ -127,6 +127,16 @@ class ExecutionBackend:
         constructed.
         """
 
+    def refresh(self, predictor: QValuePredictor) -> None:
+        """Adopt retrained predictor weights for subsequent jobs.
+
+        In-process backends receive the predictor per :meth:`run` call,
+        so the default is a no-op.  Backends that hold worker-side
+        copies of the world override this: the process pool drops its
+        pool (the next job re-ships a fresh snapshot), the cluster
+        backend hot-swaps weights fleet-wide with a control message.
+        """
+
 
 def schedule_one_item(
     job: LabelingJob, predictor: QValuePredictor, item_id: str
@@ -494,6 +504,15 @@ class ProcessPoolBackend(ExecutionBackend):
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def refresh(self, predictor: QValuePredictor) -> None:
+        """Drop the pool so the next job ships a snapshot of ``predictor``.
+
+        Workers restore the world once at pool spawn, so new weights
+        mean a new snapshot; closing is how this backend invalidates.
+        (The cluster backend does the same hot-swap without a respawn.)
+        """
+        self.close()
+
     @property
     def dispatch_counts(self) -> dict[int, int]:
         """Items scheduled per worker pid, cumulative across jobs."""
@@ -730,22 +749,6 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._active -= 1
 
 
-#: Name -> backend class, for config/CLI-driven construction.
-BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
-    cls.name: cls
-    for cls in (SerialBackend, BatchedBackend, ThreadPoolBackend, ProcessPoolBackend)
-}
-
-
-def make_backend(backend: str | ExecutionBackend, **kwargs) -> ExecutionBackend:
-    """Resolve a backend instance from a registry name (pass-through if
-    already constructed)."""
-    if isinstance(backend, ExecutionBackend):
-        return backend
-    try:
-        cls = BACKEND_REGISTRY[backend]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {backend!r}; choose from {sorted(BACKEND_REGISTRY)}"
-        ) from None
-    return cls(**kwargs)
+# BACKEND_REGISTRY and make_backend live in repro.engine.config: the
+# registry maps names to (backend, typed config) pairs and resolution is
+# validated eagerly there.  Re-exported from repro.engine for callers.

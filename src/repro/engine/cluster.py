@@ -1,0 +1,931 @@
+"""Cluster backend: shard the scheduling world across socket workers.
+
+:class:`ProcessPoolBackend` escapes the GIL but not the box — every
+worker is a child of one machine.  This module generalizes its
+snapshot/delta protocol over stdlib TCP sockets so scheduling work can
+leave the host:
+
+* :class:`ClusterWorker` — a worker process (or host) serving a
+  length-prefixed frame protocol on a socket.  A dispatcher connection
+  first ships a :class:`~repro.engine.snapshot.WorldSnapshot` (shipped
+  **once** per worker connection), then streams chunk requests carrying
+  only the records the snapshot lacks; the worker schedules each chunk
+  with the vectorized dispatch tick and streams trace shards back.
+  Payloads reuse the :mod:`repro.engine.shm` fixed-dtype codecs — the
+  same compact layout that backs the shared-memory rings, here framed
+  over the wire — with pickle as the correctness fallback.
+* :class:`ClusterBackend` (registry ``"cluster"``) — the dispatcher.
+  Chunks are assigned to workers by **consistent hashing** (an md5 hash
+  ring with virtual nodes), so a worker's death moves only *its* chunks
+  to the survivors: in-flight chunks on a dead socket are re-dispatched
+  and the job completes with a byte-identical trace (the
+  ``BrokenProcessPool`` respawn logic, generalized to partial failure).
+  A dead worker that comes back is re-connected on the next job and
+  receives a fresh snapshot.  ``refresh(predictor)`` hot-swaps agent
+  weights fleet-wide with one small control frame per worker — no
+  reconnect, no snapshot re-ship — which is the hook an online-learning
+  loop needs.
+* :func:`spawn_local_workers` / :class:`LocalWorkerFleet` — a loopback
+  fleet of worker *processes* for single-host scaling, tests, and the
+  CLI's ``--workers N`` form.
+
+Scheduling is deterministic per item and chunks are reassembled in input
+order, so traces are identical to :class:`SerialBackend` for every
+worker count, chunk size, and failure interleaving — the same parity
+contract every other backend honors.
+
+Wire format: each frame is ``!IBq`` (payload length, kind, request id)
+followed by the payload.  Requests are SNAPSHOT / CHUNK / REFRESH;
+replies are OK / RESULT / ERROR and echo the request id, so a dispatcher
+may pipeline many chunks down one connection and match replies as they
+arrive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import logging
+import math
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future
+from dataclasses import replace
+
+from repro.engine.backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    LabelingJob,
+    SerialBackend,
+)
+from repro.engine.shm import (
+    decode_records,
+    decode_traces,
+    encode_records,
+    encode_traces,
+)
+from repro.engine.snapshot import (
+    WorldSnapshot,
+    capture_predictor,
+    restore_predictor,
+)
+from repro.scheduling.base import ScheduleTrace
+from repro.scheduling.qgreedy import QValuePredictor
+from repro.zoo.oracle import GroundTruth, ItemRecord
+
+logger = logging.getLogger("repro.engine.cluster")
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterWorker",
+    "HashRing",
+    "LocalWorkerFleet",
+    "WorkerDied",
+    "spawn_local_workers",
+]
+
+# -- frame protocol ----------------------------------------------------------
+
+#: Frame header: payload length (u32), frame kind (u8), request id (i64).
+_HEADER = struct.Struct("!IBq")
+
+MSG_SNAPSHOT = 1  #: pickle((WorldSnapshot, vectorized)) -> OK
+MSG_CHUNK = 2  #: pickle((item_ids, spec, extras_kind, extras)) -> RESULT
+MSG_REFRESH = 3  #: pickle(predictor payload tuple) -> OK
+REPLY_OK = 0x80
+REPLY_RESULT = 0x82
+REPLY_ERROR = 0x83  #: pickle(exception)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    data = bytearray()
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        data += chunk
+    return bytes(data)
+
+
+def _send_frame(sock: socket.socket, kind: int, req_id: int, body: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(body), kind, req_id) + body)
+
+
+def _recv_frame(sock: socket.socket) -> tuple[int, int, bytes]:
+    length, kind, req_id = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    return kind, req_id, _recv_exact(sock, length)
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address must be 'host:port', got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"worker address must be 'host:port', got {address!r}"
+        ) from None
+
+
+class WorkerDied(ConnectionError):
+    """A cluster worker's connection failed with requests outstanding."""
+
+    def __init__(self, address: str, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"cluster worker {address} died{detail}")
+        self.address = address
+
+
+# -- consistent hashing ------------------------------------------------------
+
+
+class HashRing:
+    """Consistent hash ring with virtual nodes.
+
+    Each node is placed at ``replicas`` md5-derived points on a ring;
+    a key maps to the first node clockwise from its own hash.  Removing
+    a node (via ``exclude``) reassigns only the keys that mapped to it —
+    every other key keeps its worker, which is what keeps re-dispatch
+    traffic proportional to the failure, not the job.
+    """
+
+    def __init__(self, nodes: tuple[str, ...], replicas: int = 32):
+        if not nodes:
+            raise ValueError("HashRing needs at least one node")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        points = []
+        for node in nodes:
+            for i in range(replicas):
+                digest = hashlib.md5(f"{node}#{i}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), node))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+        self.nodes = tuple(dict.fromkeys(nodes))
+
+    def lookup(self, key: str, exclude: frozenset[str] | set[str] = frozenset()):
+        """The live node owning ``key``; walks past excluded nodes."""
+        digest = hashlib.md5(str(key).encode()).digest()
+        start = bisect.bisect(self._hashes, int.from_bytes(digest[:8], "big"))
+        n = len(self._points)
+        for step in range(n):
+            _, node = self._points[(start + step) % n]
+            if node not in exclude:
+                return node
+        raise RuntimeError("no live cluster workers left on the hash ring")
+
+
+# -- worker ------------------------------------------------------------------
+
+
+class _ConnectionState:
+    """Per-connection world: each dispatcher ships its own snapshot."""
+
+    __slots__ = ("truth", "predictor", "vectorized")
+
+    def __init__(self):
+        self.truth: GroundTruth | None = None
+        self.predictor: QValuePredictor | None = None
+        self.vectorized = True
+
+
+class ClusterWorker:
+    """Serve scheduling chunks over a socket; one world per connection.
+
+    ``delay_per_item`` adds a per-item sleep after each chunk's
+    scheduling pass — a stand-in for model-execution latency (GPU
+    inference, remote model APIs) used by the scaling benchmark to
+    demonstrate dispatch overlap on hosts with fewer cores than workers.
+    It never affects traces.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        delay_per_item: float = 0.0,
+    ):
+        if delay_per_item < 0:
+            raise ValueError("delay_per_item must be >= 0")
+        self._server = socket.create_server((host, port))
+        self.host = host
+        self.port = self._server.getsockname()[1]
+        self.delay_per_item = delay_per_item
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept dispatcher connections until :meth:`stop` (blocking)."""
+        self._server.settimeout(0.5)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._server.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    daemon=True,
+                    name=f"cluster-worker-conn-{self.port}",
+                ).start()
+        finally:
+            self._server.close()
+
+    def serve_background(self) -> "ClusterWorker":
+        """Run the accept loop in a daemon thread (in-process tests)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            daemon=True,
+            name=f"cluster-worker-{self.port}",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- frame handling ------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        state = _ConnectionState()
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    kind, req_id, body = _recv_frame(conn)
+                except (ConnectionError, OSError):
+                    return
+                try:
+                    reply_kind, reply_body = self._handle(state, kind, body)
+                except Exception as exc:
+                    reply_kind = REPLY_ERROR
+                    try:
+                        reply_body = pickle.dumps(exc)
+                    except Exception:
+                        reply_body = pickle.dumps(RuntimeError(repr(exc)))
+                try:
+                    _send_frame(conn, reply_kind, req_id, reply_body)
+                except (ConnectionError, OSError):
+                    return
+
+    def _handle(
+        self, state: _ConnectionState, kind: int, body: bytes
+    ) -> tuple[int, bytes]:
+        if kind == MSG_SNAPSHOT:
+            snapshot, vectorized = pickle.loads(body)
+            state.truth, state.predictor = snapshot.restore()
+            state.vectorized = vectorized
+            return REPLY_OK, b""
+        if kind == MSG_REFRESH:
+            if state.truth is None:
+                raise RuntimeError("refresh before a snapshot was shipped")
+            state.predictor = restore_predictor(pickle.loads(body), state.truth)
+            return REPLY_OK, b""
+        if kind == MSG_CHUNK:
+            return REPLY_RESULT, self._run_chunk(state, body)
+        raise ValueError(f"unknown frame kind {kind:#x}")
+
+    def _run_chunk(self, state: _ConnectionState, body: bytes) -> bytes:
+        if state.truth is None or state.predictor is None:
+            raise RuntimeError("chunk received before a snapshot was shipped")
+        item_ids, spec, extras_kind, extras = pickle.loads(body)
+        truth = state.truth
+        if extras_kind == "codec":
+            records: list[ItemRecord] | tuple[ItemRecord, ...] = decode_records(
+                extras, truth.zoo
+            )
+        else:
+            records = extras
+        started = time.perf_counter()
+        added = truth.adopt(records)
+        try:
+            job = LabelingJob(truth=truth, item_ids=tuple(item_ids), spec=spec)
+            backend = BatchedBackend() if state.vectorized else SerialBackend()
+            traces = backend.run(job, state.predictor)
+        finally:
+            truth.release_many(added)
+        if self.delay_per_item:
+            time.sleep(self.delay_per_item * len(item_ids))
+        seconds = time.perf_counter() - started
+        try:
+            payload: tuple[str, object] = ("codec", encode_traces(traces))
+        except Exception:  # non-conforming trace subclass: pickle wins
+            payload = ("pickle", traces)
+        return pickle.dumps((*payload, seconds, os.getpid()))
+
+
+# -- dispatcher link ---------------------------------------------------------
+
+
+class _Link:
+    """One dispatcher->worker connection with pipelined request framing.
+
+    A daemon reader thread resolves reply futures by request id; socket
+    failure (EOF, reset) fails every outstanding future with
+    :class:`WorkerDied` so the backend can re-dispatch those chunks.
+    """
+
+    def __init__(self, address: str, timeout: float):
+        self.address = address
+        host, port = _parse_address(address)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.RLock()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self.dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True, name=f"cluster-link-{address}"
+        )
+        self._reader.start()
+
+    def request(self, kind: int, body: bytes) -> Future:
+        """Send one frame; the returned future resolves to (kind, body)."""
+        future: Future = Future()
+        with self._lock:
+            if self.dead:
+                raise WorkerDied(self.address)
+            req_id = self._next_id
+            self._next_id += 1
+            self._pending[req_id] = future
+            try:
+                _send_frame(self._sock, kind, req_id, body)
+            except OSError as exc:
+                self._pending.pop(req_id, None)
+                self._fail(exc)
+                raise WorkerDied(self.address, repr(exc)) from exc
+        return future
+
+    def call(self, kind: int, body: bytes) -> tuple[int, bytes]:
+        """Synchronous request; raises the worker's exception on ERROR."""
+        return self.request(kind, body).result()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                kind, req_id, body = _recv_frame(self._sock)
+                with self._lock:
+                    future = self._pending.pop(req_id, None)
+                if future is None:
+                    continue
+                if kind == REPLY_ERROR:
+                    try:
+                        exc = pickle.loads(body)
+                    except Exception:
+                        exc = RuntimeError("worker error (undecodable payload)")
+                    future.set_exception(exc)
+                else:
+                    future.set_result((kind, body))
+        except (ConnectionError, OSError) as exc:
+            self._fail(exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.dead:
+                return
+            self.dead = True
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            future.set_exception(WorkerDied(self.address, repr(exc)))
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._fail(ConnectionError("link closed"))
+
+
+# -- local worker fleet ------------------------------------------------------
+
+
+def _local_worker_main(host, port, conn, delay_per_item) -> None:
+    """Worker-process entry point (module-level: spawn-context safe)."""
+    worker = ClusterWorker(host, port, delay_per_item=delay_per_item)
+    conn.send(worker.port)
+    conn.close()
+    worker.serve_forever()
+
+
+def _spawn_one(ctx, host: str, port: int, delay_per_item: float):
+    parent, child = ctx.Pipe()
+    process = ctx.Process(
+        target=_local_worker_main,
+        args=(host, port, child, delay_per_item),
+        daemon=True,
+    )
+    process.start()
+    child.close()
+    if not parent.poll(30):
+        process.kill()
+        raise RuntimeError(f"cluster worker on {host}:{port} failed to bind")
+    bound = parent.recv()
+    parent.close()
+    return process, bound
+
+
+class LocalWorkerFleet:
+    """A set of loopback :class:`ClusterWorker` processes with fixed ports.
+
+    ``kill(i)`` SIGKILLs a worker (chaos testing); ``restart(i)``
+    respawns it on the *same* port so a dispatcher's configured address
+    list stays valid across the death.
+    """
+
+    def __init__(self, processes, ports, host, ctx, delay_per_item):
+        self._processes = processes
+        self._ports = ports
+        self._host = host
+        self._ctx = ctx
+        self._delay = delay_per_item
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        return tuple(f"{self._host}:{port}" for port in self._ports)
+
+    def kill(self, index: int) -> None:
+        process = self._processes[index]
+        process.kill()
+        process.join(timeout=10)
+
+    def restart(self, index: int) -> None:
+        self.kill(index)
+        process, _ = _spawn_one(
+            self._ctx, self._host, self._ports[index], self._delay
+        )
+        self._processes[index] = process
+
+    def close(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=10)
+
+    def __enter__(self) -> "LocalWorkerFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def spawn_local_workers(
+    n: int,
+    host: str = "127.0.0.1",
+    mp_context=None,
+    delay_per_item: float = 0.0,
+) -> LocalWorkerFleet:
+    """Spawn ``n`` loopback worker processes on OS-assigned ports."""
+    if n < 1:
+        raise ValueError("need at least one local worker")
+    ctx = mp_context or multiprocessing.get_context()
+    processes, ports = [], []
+    try:
+        for _ in range(n):
+            process, port = _spawn_one(ctx, host, 0, delay_per_item)
+            processes.append(process)
+            ports.append(port)
+    except BaseException:
+        for process in processes:
+            process.kill()
+        raise
+    return LocalWorkerFleet(processes, ports, host, ctx, delay_per_item)
+
+
+# -- dispatcher backend ------------------------------------------------------
+
+
+class ClusterBackend(ExecutionBackend):
+    """Shard scheduling chunks over socket workers by consistent hashing.
+
+    The first :meth:`run` captures a :class:`WorldSnapshot`, connects to
+    every configured worker, and ships the snapshot once per worker;
+    later jobs against the same world reuse the live connections and
+    carry only post-snapshot records as per-chunk deltas (shm-codec
+    encoded where they conform, pickle otherwise).  Chunk->worker
+    assignment follows a :class:`HashRing`, so one worker's death moves
+    only its chunks: each failed chunk is re-dispatched to the next live
+    node on the ring and the job still returns serial-parity traces.
+    Dead workers are re-connected (and re-shipped a fresh snapshot) on
+    the next job; :meth:`refresh` hot-swaps predictor weights fleet-wide
+    without either.
+
+    Like :class:`ProcessPoolBackend`, the backend is world-affine:
+    switching worlds re-ships snapshots and is refused while other jobs
+    are in flight.  Unreachable workers at connect time are skipped with
+    a warning as long as one worker is live.
+
+    Parameters
+    ----------
+    workers:
+        ``"host:port"`` addresses of externally-managed workers
+        (``repro.cli cluster-worker`` or :class:`ClusterWorker`).
+    local_workers:
+        Additionally spawn this many loopback worker processes owned
+        (and closed) by the backend.
+    chunk_size:
+        Items per dispatched chunk; default shards evenly across live
+        workers.
+    vectorized:
+        Workers run the batched dispatch tick per chunk (default) or
+        the serial loop; traces are identical either way.
+    connect_timeout:
+        Seconds to wait per worker TCP connect before marking it
+        unreachable.
+    replicas:
+        Virtual nodes per worker on the hash ring.
+    mp_context:
+        :mod:`multiprocessing` context for ``local_workers``.
+    """
+
+    name = "cluster"
+
+    #: EWMA smoothing for worker-reported per-item scheduling seconds.
+    EWMA_ALPHA = 0.3
+
+    def __init__(
+        self,
+        workers: tuple[str, ...] | list[str] = (),
+        local_workers: int | None = None,
+        chunk_size: int | None = None,
+        vectorized: bool = True,
+        connect_timeout: float = 10.0,
+        replicas: int = 32,
+        mp_context=None,
+    ):
+        workers = tuple(workers)
+        for address in workers:
+            _parse_address(address)
+        if local_workers is not None and local_workers < 1:
+            raise ValueError("local_workers must be >= 1")
+        if not workers and not local_workers:
+            raise ValueError(
+                "cluster backend needs workers: pass workers=('host:port', ...) "
+                "and/or local_workers=N"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.workers = workers
+        self.local_workers = local_workers
+        self.chunk_size = chunk_size
+        self.vectorized = vectorized
+        self.connect_timeout = connect_timeout
+        self.replicas = replicas
+        self.mp_context = mp_context
+        self._lock = threading.Lock()
+        self._links: dict[str, _Link] = {}
+        self._fleet: LocalWorkerFleet | None = None
+        self._ring: HashRing | None = None
+        self._snapshot: WorldSnapshot | None = None
+        #: Strong refs backing the identity key so ids cannot be recycled.
+        self._world: tuple | None = None
+        self._world_key: tuple | None = None
+        self._shipped_ids: frozenset[str] = frozenset()
+        self._active = 0
+        self._dispatch: Counter = Counter()
+        self._snapshot_ships: Counter = Counter()
+        self._redispatched: Counter = Counter()
+        self._refreshes = 0
+        self._chunk_count = 0
+        self._chunk_items = 0
+        self._chunk_seconds = 0.0
+        self._ewma_item_s: float | None = None
+        self._last_chunk_size: int | None = None
+        self._transport_counts: Counter = Counter()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Disconnect every worker and stop the owned local fleet."""
+        with self._lock:
+            for link in self._links.values():
+                link.close()
+            self._links = {}
+            self._ring = None
+            self._snapshot = None
+            self._world = None
+            self._world_key = None
+            self._shipped_ids = frozenset()
+            fleet, self._fleet = self._fleet, None
+        if fleet is not None:
+            fleet.close()
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def dispatch_counts(self) -> dict[str, int]:
+        """Items scheduled per worker address, cumulative across jobs."""
+        with self._lock:
+            return dict(self._dispatch)
+
+    @property
+    def chunk_stats(self) -> dict:
+        """Per-chunk telemetry, shaped like ProcessPoolBackend's."""
+        with self._lock:
+            return {
+                "chunks": self._chunk_count,
+                "items": self._chunk_items,
+                "seconds": self._chunk_seconds,
+                "ewma_item_s": self._ewma_item_s,
+                "last_chunk_size": self._last_chunk_size,
+                "transport": dict(self._transport_counts),
+            }
+
+    @property
+    def cluster_stats(self) -> dict:
+        """Cluster health: per-worker liveness, ships, re-dispatches."""
+        with self._lock:
+            fleet = self._fleet.addresses if self._fleet is not None else ()
+            addresses = dict.fromkeys(self.workers + tuple(fleet))
+            for address in self._links:
+                addresses.setdefault(address)
+            return {
+                "workers": {
+                    address: {
+                        "alive": address in self._links
+                        and not self._links[address].dead,
+                        "snapshot_ships": self._snapshot_ships[address],
+                        "redispatched": self._redispatched[address],
+                    }
+                    for address in addresses
+                },
+                "refreshes": self._refreshes,
+                "snapshot_ships": sum(self._snapshot_ships.values()),
+                "redispatched": sum(self._redispatched.values()),
+            }
+
+    # -- control plane -------------------------------------------------------
+
+    def refresh(self, predictor: QValuePredictor) -> int:
+        """Hot-swap predictor weights fleet-wide; returns workers updated.
+
+        One small control frame per live worker — no reconnect, no
+        snapshot re-ship.  The stored snapshot's predictor payload is
+        swapped too, so a worker that rejoins later restores the *new*
+        weights, and the world key is re-anchored on ``predictor`` so
+        the next :meth:`run` with it reuses every connection.
+        """
+        with self._lock:
+            if self._world_key is None or self._snapshot is None:
+                raise RuntimeError(
+                    "refresh() before any job shipped a world snapshot"
+                )
+            if self._active > 0:
+                raise RuntimeError(
+                    "cannot refresh the fleet while jobs are in flight"
+                )
+            payload = capture_predictor(predictor)
+            body = pickle.dumps(payload)
+            updated = 0
+            for link in self._links.values():
+                if link.dead:
+                    continue
+                link.call(MSG_REFRESH, body)
+                updated += 1
+            self._snapshot = replace(self._snapshot, predictor_payload=payload)
+            zoo_id, _, config = self._world_key
+            self._world = (self._world[0], predictor)
+            self._world_key = (zoo_id, id(predictor), config)
+            self._refreshes += 1
+            return updated
+
+    # -- internals -----------------------------------------------------------
+
+    def _addresses(self) -> tuple[str, ...]:
+        fleet = self._fleet.addresses if self._fleet is not None else ()
+        return self.workers + tuple(fleet)
+
+    def _ensure_cluster(
+        self, truth: GroundTruth, predictor: QValuePredictor
+    ) -> tuple[dict[str, _Link], frozenset[str], HashRing]:
+        """Live links for this world; (re)connects and ships snapshots.
+
+        Mirrors ``ProcessPoolBackend._ensure_pool``: the world key is
+        object identity of zoo and predictor plus the config, switching
+        worlds while jobs are in flight raises (world-affinity), and a
+        matching world reuses every live connection.  Unlike the pool,
+        partial presence is fine — dead or unreachable workers are
+        skipped (and retried next job) as long as one link is live.
+        """
+        key = (id(truth.zoo), id(predictor), truth.config)
+        with self._lock:
+            world_changed = self._world_key != key
+            if world_changed and self._active > 0:
+                raise RuntimeError(
+                    "ClusterBackend is world-affine: cannot switch to a "
+                    "different zoo/predictor while another job is in flight; "
+                    "use one backend per world for concurrent use"
+                )
+            if self._fleet is None and self.local_workers:
+                self._fleet = spawn_local_workers(
+                    self.local_workers, mp_context=self.mp_context
+                )
+            addresses = self._addresses()
+            if self._ring is None:
+                self._ring = HashRing(addresses, self.replicas)
+            if world_changed:
+                self._snapshot = WorldSnapshot.capture(truth, predictor)
+                self._world = (truth.zoo, predictor)
+                self._world_key = key
+                self._shipped_ids = self._snapshot.item_ids
+                for link in self._links.values():
+                    link.close()
+                self._links = {}
+            snapshot_body = None
+            for address in addresses:
+                link = self._links.get(address)
+                if link is not None and not link.dead:
+                    continue
+                if snapshot_body is None:
+                    snapshot_body = pickle.dumps(
+                        (self._snapshot, self.vectorized)
+                    )
+                try:
+                    link = _Link(address, self.connect_timeout)
+                    link.call(MSG_SNAPSHOT, snapshot_body)
+                except (OSError, WorkerDied) as exc:
+                    logger.warning(
+                        "cluster worker %s unreachable, skipping: %s",
+                        address,
+                        exc,
+                    )
+                    self._links.pop(address, None)
+                    continue
+                self._links[address] = link
+                self._snapshot_ships[address] += 1
+            live = {a: ln for a, ln in self._links.items() if not ln.dead}
+            if not live:
+                raise RuntimeError(
+                    f"no live cluster workers reachable among {addresses}"
+                )
+            self._active += 1
+            return live, self._shipped_ids, self._ring
+
+    def _chunks(self, item_ids: tuple[str, ...], n_live: int):
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(item_ids) / max(n_live, 1)))
+        with self._lock:
+            self._last_chunk_size = size
+        return [
+            item_ids[start : start + size]
+            for start in range(0, len(item_ids), size)
+        ]
+
+    def _chunk_body(
+        self, job: LabelingJob, chunk: tuple[str, ...], shipped: frozenset[str]
+    ) -> bytes:
+        extras = tuple(
+            job.truth.record(item_id)
+            for item_id in chunk
+            if item_id not in shipped
+        )
+        extras_kind, payload = "pickle", extras
+        if extras:
+            encoded = encode_records(list(extras))
+            if encoded is not None:
+                extras_kind, payload = "codec", encoded
+            with self._lock:
+                self._transport_counts[f"delta_{extras_kind}"] += 1
+        return pickle.dumps((chunk, job.spec, extras_kind, payload))
+
+    def _dispatch_chunk(
+        self,
+        links: dict[str, _Link],
+        ring: HashRing,
+        index: int,
+        chunk: tuple[str, ...],
+        body: bytes,
+        redispatch_from: str | None = None,
+    ) -> tuple[str, Future]:
+        """Send one chunk to its ring owner, walking past dead workers."""
+        if redispatch_from is not None:
+            with self._lock:
+                self._redispatched[redispatch_from] += 1
+        while True:
+            # Exclude both dead links and ring nodes that never connected.
+            dead = {
+                node
+                for node in ring.nodes
+                if node not in links or links[node].dead
+            }
+            if len(dead) == len(ring.nodes):
+                raise RuntimeError(
+                    "all cluster workers died mid-job; re-run to reconnect"
+                )
+            address = ring.lookup(f"{chunk[0]}#{index}", exclude=dead)
+            try:
+                return address, links[address].request(MSG_CHUNK, body)
+            except WorkerDied:
+                logger.warning(
+                    "cluster worker %s died at dispatch; re-routing chunk %d",
+                    address,
+                    index,
+                )
+                with self._lock:
+                    self._redispatched[address] += 1
+
+    def _decode_result(
+        self, body: bytes, chunk: tuple[str, ...], truth: GroundTruth
+    ) -> tuple[list[ScheduleTrace], float]:
+        kind, payload, seconds, _pid = pickle.loads(body)
+        with self._lock:
+            self._transport_counts[f"result_{kind}"] += 1
+        if kind == "codec":
+            return decode_traces(payload, list(chunk), truth.zoo.names), seconds
+        return payload, seconds
+
+    def _observe_chunk(self, items: int, seconds: float) -> None:
+        self._chunk_count += 1
+        self._chunk_items += items
+        self._chunk_seconds += seconds
+        per_item = seconds / max(items, 1)
+        if self._ewma_item_s is None:
+            self._ewma_item_s = per_item
+        else:
+            self._ewma_item_s += self.EWMA_ALPHA * (per_item - self._ewma_item_s)
+
+    def run(
+        self, job: LabelingJob, predictor: QValuePredictor
+    ) -> list[ScheduleTrace]:
+        if len(job.item_ids) <= 1:
+            # Not worth a network round-trip; counted under "local" so
+            # per-worker telemetry still accounts for every item.
+            with self._lock:
+                self._dispatch["local"] += len(job.item_ids)
+            return SerialBackend().run(job, predictor)
+        links, shipped, ring = self._ensure_cluster(job.truth, predictor)
+        try:
+            chunks = self._chunks(job.item_ids, len(links))
+            bodies = [self._chunk_body(job, chunk, shipped) for chunk in chunks]
+            pending: list[tuple[str, Future]] = [
+                self._dispatch_chunk(links, ring, index, chunk, body)
+                for index, (chunk, body) in enumerate(zip(chunks, bodies))
+            ]
+            traces: list[ScheduleTrace] = []
+            for index, chunk in enumerate(chunks):
+                while True:
+                    address, future = pending[index]
+                    try:
+                        _kind, body = future.result()
+                        break
+                    except WorkerDied:
+                        # Only this worker's chunks move: re-dispatch to
+                        # the next live ring node and keep waiting.
+                        logger.warning(
+                            "cluster worker %s died mid-chunk; "
+                            "re-dispatching chunk %d",
+                            address,
+                            index,
+                        )
+                        pending[index] = self._dispatch_chunk(
+                            links,
+                            ring,
+                            index,
+                            chunk,
+                            bodies[index],
+                            redispatch_from=address,
+                        )
+                chunk_traces, seconds = self._decode_result(
+                    body, chunk, job.truth
+                )
+                with self._lock:
+                    self._dispatch[address] += len(chunk_traces)
+                    self._observe_chunk(len(chunk), seconds)
+                traces.extend(chunk_traces)
+            return traces
+        finally:
+            with self._lock:
+                self._active -= 1

@@ -1,0 +1,233 @@
+"""Typed backend configuration: eagerly-validated, frozen, buildable.
+
+``make_backend(name, **kwargs)`` used to forward loose kwargs straight
+into backend constructors — typos surfaced as ``TypeError`` deep inside
+the engine, invalid values surfaced only when a pool finally spawned,
+and ``make_backend(instance, **kwargs)`` silently *dropped* the kwargs.
+This module replaces that with one frozen config dataclass per backend:
+
+* every field is validated eagerly in ``__post_init__``, so a bad
+  worker count or a malformed ``host:port`` fails at *config* time, not
+  first-job time;
+* :data:`BACKEND_REGISTRY` maps each registry name to its
+  ``(backend class, config class)`` pair, so tooling can introspect
+  what a backend accepts without constructing one;
+* :meth:`BackendConfig.build` constructs the backend from the config's
+  fields — configs are the single source of truth for constructor
+  surface.
+
+:func:`make_backend` remains the one resolution entry point.  Passing a
+name with loose kwargs still works but now warns ``DeprecationWarning``
+and round-trips through the typed config (so it inherits the eager
+validation); passing kwargs alongside an already-constructed instance —
+previously ignored — is now a ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+from repro.engine.backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+)
+from repro.engine.cluster import ClusterBackend, _parse_address
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "BackendConfig",
+    "BatchedConfig",
+    "ClusterConfig",
+    "ProcessConfig",
+    "SerialConfig",
+    "ThreadConfig",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Base for per-backend configs: frozen, validated, buildable."""
+
+    #: Registry name, mirrored from the backend class.
+    name: ClassVar[str]
+    #: The backend class :meth:`build` constructs.
+    backend_cls: ClassVar[type[ExecutionBackend]]
+
+    def build(self) -> ExecutionBackend:
+        """Construct the configured backend instance."""
+        kwargs = {field.name: getattr(self, field.name) for field in fields(self)}
+        return self.backend_cls(**kwargs)
+
+    @staticmethod
+    def resolve(name: str, **kwargs) -> "BackendConfig":
+        """Config for a registry name; loose kwargs are deprecated.
+
+        ``resolve("process")`` returns the default :class:`ProcessConfig`
+        silently; ``resolve("process", max_workers=4)`` still works but
+        warns — pass ``ProcessConfig(max_workers=4)`` around instead.
+        """
+        try:
+            _, config_cls = BACKEND_REGISTRY[name]
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"unknown backend {name!r}; choose from {sorted(BACKEND_REGISTRY)}"
+            ) from None
+        if kwargs:
+            warnings.warn(
+                f"passing loose kwargs for backend {name!r} is deprecated; "
+                f"pass a typed {config_cls.__name__} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return config_cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SerialConfig(BackendConfig):
+    """Reference single-item backend; takes no parameters."""
+
+    name: ClassVar[str] = "serial"
+    backend_cls: ClassVar[type[ExecutionBackend]] = SerialBackend
+
+
+@dataclass(frozen=True)
+class BatchedConfig(BackendConfig):
+    """Vectorized lock-step backend; takes no parameters."""
+
+    name: ClassVar[str] = "batched"
+    backend_cls: ClassVar[type[ExecutionBackend]] = BatchedBackend
+
+
+@dataclass(frozen=True)
+class ThreadConfig(BackendConfig):
+    """Thread-pool backend parameters."""
+
+    name: ClassVar[str] = "thread"
+    backend_cls: ClassVar[type[ExecutionBackend]] = ThreadPoolBackend
+
+    max_workers: int | None = None
+
+    def __post_init__(self):
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class ProcessConfig(BackendConfig):
+    """Process-pool backend parameters (see :class:`ProcessPoolBackend`)."""
+
+    name: ClassVar[str] = "process"
+    backend_cls: ClassVar[type[ExecutionBackend]] = ProcessPoolBackend
+
+    max_workers: int | None = None
+    chunk_size: int | None = None
+    mp_context: object = None
+    vectorized: bool = True
+    transport: str = "shm"
+    target_chunk_s: float | None = None
+    ring_slots: int | None = None
+    slot_bytes: int = 1 << 20
+
+    def __post_init__(self):
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pickle', got {self.transport!r}"
+            )
+        if self.target_chunk_s is not None and self.target_chunk_s <= 0:
+            raise ValueError("target_chunk_s must be positive")
+        if self.ring_slots is not None and self.ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
+        if self.slot_bytes < 1:
+            raise ValueError("slot_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterConfig(BackendConfig):
+    """Cluster backend parameters (see :class:`ClusterBackend`).
+
+    Needs at least one worker source: ``workers`` addresses and/or a
+    ``local_workers`` count.
+    """
+
+    name: ClassVar[str] = "cluster"
+    backend_cls: ClassVar[type[ExecutionBackend]] = ClusterBackend
+
+    workers: tuple[str, ...] = ()
+    local_workers: int | None = None
+    chunk_size: int | None = None
+    vectorized: bool = True
+    connect_timeout: float = 10.0
+    replicas: int = 32
+    mp_context: object = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "workers", tuple(self.workers))
+        for address in self.workers:
+            _parse_address(address)
+        if self.local_workers is not None and self.local_workers < 1:
+            raise ValueError("local_workers must be >= 1")
+        if not self.workers and not self.local_workers:
+            raise ValueError(
+                "cluster backend needs workers: pass workers=('host:port', ...) "
+                "and/or local_workers=N"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+#: Name -> (backend class, config class), for config/CLI construction.
+BACKEND_REGISTRY: dict[str, tuple[type[ExecutionBackend], type[BackendConfig]]] = {
+    config_cls.name: (config_cls.backend_cls, config_cls)
+    for config_cls in (
+        SerialConfig,
+        BatchedConfig,
+        ThreadConfig,
+        ProcessConfig,
+        ClusterConfig,
+    )
+}
+
+
+def make_backend(
+    backend: str | BackendConfig | ExecutionBackend, **kwargs
+) -> ExecutionBackend:
+    """Resolve a backend from a name, a typed config, or an instance.
+
+    Names resolve through :meth:`BackendConfig.resolve` (bare names
+    silently, loose kwargs with a ``DeprecationWarning``).  Kwargs
+    alongside a config or an already-constructed instance are a
+    ``TypeError`` — they used to be silently dropped for instances,
+    which hid real configuration bugs.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if kwargs:
+            raise TypeError(
+                "make_backend() got keyword arguments "
+                f"{sorted(kwargs)} for an already-constructed "
+                f"{type(backend).__name__} instance; configure the instance "
+                "directly or pass a typed config instead"
+            )
+        return backend
+    if isinstance(backend, BackendConfig):
+        if kwargs:
+            raise TypeError(
+                "make_backend() got keyword arguments "
+                f"{sorted(kwargs)} alongside a {type(backend).__name__}; "
+                "put them in the config"
+            )
+        return backend.build()
+    return BackendConfig.resolve(backend, **kwargs).build()

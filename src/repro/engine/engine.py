@@ -30,8 +30,8 @@ from repro.data.streams import batched
 from repro.engine.backends import (
     ExecutionBackend,
     LabelingJob,
-    make_backend,
 )
+from repro.engine.config import BackendConfig, make_backend
 from repro.engine.results import LabelingResult, result_from_trace
 from repro.obs.instrument import engine_observer
 from repro.scheduling.qgreedy import QValuePredictor
@@ -55,7 +55,8 @@ class LabelingEngine:
     world_config:
         World parameters (valuable-confidence threshold etc.).
     backend:
-        Registry name (``"serial"``, ``"batched"``, ``"thread"``) or a
+        Registry name (``"serial"``, ``"batched"``, ``"thread"``, …), a
+        typed :class:`~repro.engine.config.BackendConfig`, or a
         constructed :class:`ExecutionBackend`.
     batch_size:
         Streaming chunk size: how many items are in flight at once.
@@ -66,7 +67,7 @@ class LabelingEngine:
         zoo: ModelZoo,
         predictor: QValuePredictor,
         world_config: WorldConfig | None = None,
-        backend: str | ExecutionBackend = "batched",
+        backend: str | BackendConfig | ExecutionBackend = "batched",
         batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         if batch_size < 1:
@@ -78,7 +79,7 @@ class LabelingEngine:
         self.batch_size = batch_size
 
     def with_backend(
-        self, backend: str | ExecutionBackend, **kwargs
+        self, backend: str | BackendConfig | ExecutionBackend, **kwargs
     ) -> "LabelingEngine":
         """A sibling engine sharing this world but running another backend.
 

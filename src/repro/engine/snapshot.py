@@ -46,7 +46,7 @@ from repro.zoo.builder import build_zoo
 from repro.zoo.model import ModelZoo
 from repro.zoo.oracle import GroundTruth, ItemRecord
 
-__all__ = ["WorldSnapshot"]
+__all__ = ["WorldSnapshot", "capture_predictor", "restore_predictor"]
 
 
 def _zoo_matches_config(zoo: ModelZoo, config: WorldConfig) -> bool:
@@ -60,8 +60,14 @@ def _zoo_matches_config(zoo: ModelZoo, config: WorldConfig) -> bool:
     )
 
 
-def _capture_predictor(predictor: QValuePredictor) -> tuple:
-    """Reduce a predictor to a small picklable payload."""
+def capture_predictor(predictor: QValuePredictor) -> tuple:
+    """Reduce a predictor to a small picklable payload.
+
+    The payload round-trips through :func:`restore_predictor`; it is
+    what :class:`WorldSnapshot` ships per worker and what the cluster
+    backend's ``refresh`` control message carries for fleet-wide weight
+    hot-swaps.
+    """
     if isinstance(predictor, AgentPredictor):
         agent = predictor.agent
         state = {key: value.copy() for key, value in agent.state_dict().items()}
@@ -96,7 +102,7 @@ class WorldSnapshot:
     zoo_payload: bytes | None
     #: Ground-truth records present at capture time.
     records: tuple[ItemRecord, ...]
-    #: Reduced predictor (see :func:`_capture_predictor`).
+    #: Reduced predictor (see :func:`capture_predictor`).
     predictor_payload: tuple
 
     @classmethod
@@ -111,7 +117,7 @@ class WorldSnapshot:
             config=truth.config,
             zoo_payload=zoo_payload,
             records=truth.records_snapshot(),
-            predictor_payload=_capture_predictor(predictor),
+            predictor_payload=capture_predictor(predictor),
         )
 
     @property
@@ -130,16 +136,19 @@ class WorldSnapshot:
         return truth, self._restore_predictor(truth)
 
     def _restore_predictor(self, truth: GroundTruth) -> QValuePredictor:
-        kind = self.predictor_payload[0]
-        if kind == "agent":
-            _, algo, obs_dim, n_actions, hidden_size, n_models, state = (
-                self.predictor_payload
-            )
-            agent = make_agent(
-                algo, obs_dim=obs_dim, n_actions=n_actions, hidden_size=hidden_size
-            )
-            agent.load_state_dict(state)
-            return AgentPredictor(agent, n_models)
-        if kind == "oracle":
-            return OraclePredictor(truth, self.predictor_payload[1])
-        return pickle.loads(self.predictor_payload[1])
+        return restore_predictor(self.predictor_payload, truth)
+
+
+def restore_predictor(payload: tuple, truth: GroundTruth) -> QValuePredictor:
+    """Rebuild a predictor from a :func:`capture_predictor` payload."""
+    kind = payload[0]
+    if kind == "agent":
+        _, algo, obs_dim, n_actions, hidden_size, n_models, state = payload
+        agent = make_agent(
+            algo, obs_dim=obs_dim, n_actions=n_actions, hidden_size=hidden_size
+        )
+        agent.load_state_dict(state)
+        return AgentPredictor(agent, n_models)
+    if kind == "oracle":
+        return OraclePredictor(truth, payload[1])
+    return pickle.loads(payload[1])

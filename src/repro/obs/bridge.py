@@ -304,6 +304,45 @@ def service_families(service) -> list[MetricFamily]:
                 ),
             ),
         ]
+    cluster_stats = getattr(type(service.engine.backend), "cluster_stats", None)
+    if cluster_stats is not None:
+        stats = service.engine.backend.cluster_stats
+        workers = stats["workers"]
+        families += [
+            MetricFamily(
+                "repro_cluster_worker_alive",
+                "gauge",
+                "Cluster worker connection liveness (1 = connected)",
+                tuple(
+                    ({"worker": address}, 1 if info["alive"] else 0)
+                    for address, info in workers.items()
+                ),
+            ),
+            MetricFamily(
+                "repro_cluster_snapshot_ships_total",
+                "counter",
+                "World snapshots shipped per cluster worker",
+                tuple(
+                    ({"worker": address}, info["snapshot_ships"])
+                    for address, info in workers.items()
+                ),
+            ),
+            MetricFamily(
+                "repro_cluster_redispatched_total",
+                "counter",
+                "Chunks re-dispatched away from a dead cluster worker",
+                tuple(
+                    ({"worker": address}, info["redispatched"])
+                    for address, info in workers.items()
+                ),
+            ),
+            MetricFamily(
+                "repro_cluster_refreshes_total",
+                "counter",
+                "Fleet-wide predictor weight hot-swaps",
+                (({}, stats["refreshes"]),),
+            ),
+        ]
     return _merge(families)
 
 

@@ -555,8 +555,8 @@ class LabelingGateway:
         self._admit(tenant, 1)
         cached = self._was_cached(item.item_id, spec)
         try:
-            future = self.service.submit_nowait_async(
-                item, spec, deadline=deadline
+            future = self.service.submit(
+                item, spec, deadline=deadline, wait="async"
             )
         except (QueueFull, DeadlineExpired, ServiceStopped) as exc:
             self._release(tenant.name)
@@ -585,8 +585,8 @@ class LabelingGateway:
         tenant: Tenant,
     ) -> list[asyncio.Future]:
         """Bulk nowait submission with per-future quota release."""
-        futures = self.service.submit_many_nowait_async(
-            items, spec, deadline=deadline
+        futures = self.service.submit_many(
+            items, spec, deadline=deadline, wait="async"
         )
         for future in futures:
             self._track(tenant, future)

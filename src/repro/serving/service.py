@@ -15,12 +15,14 @@ scheduler exposes a vectorized ``schedule_batch`` dispatch tick, each
 whole micro-batch in **one** matrix call per tick — unconstrained,
 deadline, and deadline+memory alike (see
 :class:`~repro.engine.backends.BatchedBackend`).
-Event-loop clients use :meth:`~LabelingService.submit_async` /
-:meth:`~LabelingService.submit_many_async` — the same futures wrapped
-with :func:`asyncio.wrap_future` — and ``backend="process"`` moves the
-CPU-bound scheduling phase into worker processes (the GIL otherwise caps
-the whole worker pool near one core) while admission, caching, and truth
-refcounting stay in the parent.
+Event-loop clients pass ``wait="async"`` to :meth:`~LabelingService.submit`
+/ :meth:`~LabelingService.submit_many` — the same futures wrapped with
+:func:`asyncio.wrap_future` after non-blocking admission — and
+``backend="process"`` moves the CPU-bound scheduling phase into worker
+processes (the GIL otherwise caps the whole worker pool near one core)
+while admission, caching, and truth refcounting stay in the parent;
+``backend=ClusterConfig(...)`` moves it onto socket workers that may
+live on other hosts.
 
 Each request carries a :class:`~repro.spec.LabelingSpec` — its scheduling
 regime, constraints, and priority.  Requests submitted without one inherit
@@ -66,11 +68,13 @@ import asyncio
 import logging
 import threading
 import time
+import warnings
 from collections.abc import Iterable
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.data.datasets import DataItem
 from repro.engine.backends import ExecutionBackend
+from repro.engine.config import BackendConfig
 from repro.engine.engine import LabelingEngine
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import TraceBuffer
@@ -98,6 +102,25 @@ DEFAULT_EXPIRY_INTERVAL = 0.05
 logger = logging.getLogger("repro.serving.service")
 
 
+def _resolve_wait_mode(wait: str, nowait: bool) -> str:
+    """Validate a ``wait=`` mode, folding in the legacy ``nowait`` flag."""
+    if wait not in ("block", "nowait", "async"):
+        raise ValueError(
+            f"wait must be 'block', 'nowait', or 'async', got {wait!r}"
+        )
+    if nowait and wait == "block":
+        return "nowait"
+    return wait
+
+
+def _warn_submit_shim(old: str, new: str) -> None:
+    warnings.warn(
+        f"LabelingService.{old}() is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def _terminal_stage(error: BaseException | None) -> str:
     """The trace terminal stage a settling error (or success) maps to."""
     if error is None:
@@ -119,16 +142,19 @@ class LabelingService:
     engine:
         The engine every worker dispatches batches through.
     backend:
-        Optional execution-backend override (registry name or instance).
+        Optional execution-backend override (registry name, typed
+        :class:`~repro.engine.config.BackendConfig`, or instance).
         The service then runs a sibling engine — same zoo, predictor, and
         config — on that backend instead of mutating the caller's engine.
         With ``backend="process"`` the scheduling phase runs in worker
         *processes* (escaping the GIL) — each worker runs the vectorized
         dispatch tick over its chunk and payloads travel through
         shared-memory rings instead of pickle — while the queue, result
-        cache, and shared-truth refcounting stay in this parent process;
-        a backend the service constructed itself is closed at
-        :meth:`shutdown`.
+        cache, and shared-truth refcounting stay in this parent process.
+        With ``backend=ClusterConfig(workers=..., ...)`` scheduling is
+        sharded over socket workers that may live on other hosts.  A
+        backend the service constructed itself (from a name or config)
+        is closed at :meth:`shutdown`.
     batch_size:
         Flush a forming batch as soon as it holds this many requests.
     max_wait:
@@ -192,7 +218,7 @@ class LabelingService:
         self,
         engine: LabelingEngine,
         *,
-        backend: str | ExecutionBackend | None = None,
+        backend: str | BackendConfig | ExecutionBackend | None = None,
         batch_size: int = 32,
         max_wait: float = DEFAULT_MAX_WAIT,
         workers: int = DEFAULT_WORKERS,
@@ -325,8 +351,9 @@ class LabelingService:
         priority: int | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
+        wait: str = "block",
         nowait: bool = False,
-    ) -> Future:
+    ) -> Future | asyncio.Future:
         """Enqueue one item; returns a future resolving to its result.
 
         ``spec`` sets this request's scheduling constraints and priority
@@ -336,10 +363,23 @@ class LabelingService:
         it can no longer afford the cheapest model and is dropped
         (:class:`DeadlineExpired` here at admission, or set on the future
         if the budget runs out while queued) — distinct from the spec's
-        scheduling deadline.  A full queue raises :class:`QueueFull` under
-        the ``reject`` policy, or blocks up to ``timeout`` under
-        ``block``; ``nowait=True`` raises :class:`QueueFull` immediately
-        either way (the calling thread never blocks on backpressure).
+        scheduling deadline.
+
+        ``wait`` picks the admission mode:
+
+        * ``"block"`` (default) — a full queue raises :class:`QueueFull`
+          under the ``reject`` policy, or blocks up to ``timeout`` under
+          ``block``; returns a :class:`concurrent.futures.Future`.
+        * ``"nowait"`` — a full queue raises :class:`QueueFull`
+          immediately regardless of overflow policy (the calling thread
+          never blocks on backpressure).
+        * ``"async"`` — non-blocking admission like ``"nowait"``, but
+          returns an :class:`asyncio.Future` resolving on the calling
+          event loop: the submission path a network front end uses
+          (e.g. the gateway's 429 + ``Retry-After`` shed logic).  Must
+          be called with a running event loop.
+
+        ``nowait=True`` is the legacy spelling of ``wait="nowait"``.
 
         With a result cache, a submission whose ``(item_id, batch_key)``
         is already cached resolves immediately without queueing, and one
@@ -347,6 +387,30 @@ class LabelingService:
         future — the first submitter's admission terms apply to everyone
         attached.
         """
+        mode = _resolve_wait_mode(wait, nowait)
+        future = self._submit(
+            item,
+            spec,
+            priority=priority,
+            deadline=deadline,
+            timeout=timeout,
+            nowait=mode != "block",
+        )
+        if mode == "async":
+            return asyncio.wrap_future(future)
+        return future
+
+    def _submit(
+        self,
+        item: DataItem,
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
+        deadline: float | None = None,
+        timeout: float | None = None,
+        nowait: bool = False,
+    ) -> Future:
+        """Synchronous admission core shared by every :meth:`submit` mode."""
         resolved = self._request_spec(spec, priority)
         request = LabelingRequest(
             item=item,
@@ -415,8 +479,9 @@ class LabelingService:
         priority: int | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
+        wait: str = "block",
         nowait: bool = False,
-    ) -> list[Future]:
+    ) -> list[Future] | list[asyncio.Future]:
         """Bulk-submit items under one shared spec; one future per item.
 
         Unlike a loop of :meth:`submit` calls, admission bookkeeping is
@@ -427,13 +492,44 @@ class LabelingService:
         full queue) are set on the corresponding futures instead of
         raising, so the input-ordered future list is always complete.
 
+        ``wait`` picks the admission mode exactly as in :meth:`submit`:
+        ``"block"`` (default) may park on a full queue up to ``timeout``;
+        ``"nowait"`` turns queue-full waits into immediate per-item
+        rejections (the corresponding futures fail with
+        :class:`QueueFull`); ``"async"`` is non-blocking admission
+        returning input-ordered :class:`asyncio.Future` awaitables, so
+        ``asyncio.gather(..., return_exceptions=True)`` sees the complete
+        picture.  ``nowait=True`` is the legacy spelling of
+        ``wait="nowait"``.
+
         With a result cache, cached items resolve immediately, duplicates
         of in-flight keys (including duplicates *within* this call) share
         one future, and only first-flight items are enqueued.
-        ``nowait=True`` turns queue-full waits into immediate per-item
-        rejections (the corresponding futures fail with
-        :class:`QueueFull`).
         """
+        mode = _resolve_wait_mode(wait, nowait)
+        futures = self._submit_many(
+            items,
+            spec,
+            priority=priority,
+            deadline=deadline,
+            timeout=timeout,
+            nowait=mode != "block",
+        )
+        if mode == "async":
+            return [asyncio.wrap_future(future) for future in futures]
+        return futures
+
+    def _submit_many(
+        self,
+        items: Iterable[DataItem],
+        spec: LabelingSpec | None = None,
+        *,
+        priority: int | None = None,
+        deadline: float | None = None,
+        timeout: float | None = None,
+        nowait: bool = False,
+    ) -> list[Future]:
+        """Synchronous bulk-admission core shared by every ``wait`` mode."""
         items = list(items)
         resolved = self._request_spec(spec, priority)
         if not items:
@@ -521,6 +617,13 @@ class LabelingService:
             )
         return futures
 
+    # -- deprecated submit_* shims -------------------------------------------
+    #
+    # The six-way submit family collapsed into submit()/submit_many()
+    # taking a ``wait=`` mode.  These shims pin the exact pre-unification
+    # behavior (note submit_async/submit_many_async admit *blocking*,
+    # which ``wait="async"`` deliberately does not).
+
     def submit_async(
         self,
         item: DataItem,
@@ -530,28 +633,15 @@ class LabelingService:
         deadline: float | None = None,
         timeout: float | None = None,
     ) -> asyncio.Future:
-        """:meth:`submit` for event-loop clients: returns an awaitable.
+        """Deprecated: blocking admission + awaitable result.
 
-        The returned :class:`asyncio.Future` resolves to the request's
-        :class:`~repro.engine.results.LabelingResult` (or raises its
-        admission/serving error) on the event loop that called this
-        method — a thin :func:`asyncio.wrap_future` over the same
-        queue/cache machinery, which is front-end-agnostic.  Must be
-        called with a running event loop (i.e. from a coroutine).
-
-        Admission itself still happens synchronously on the calling
-        thread: under ``overflow="block"`` a full queue blocks the event
-        loop for up to ``timeout``.  Loop-sensitive callers should use
-        :meth:`submit_nowait_async` instead — it never blocks the loop,
-        turning bounded-queue backpressure into an immediate
-        :class:`QueueFull` the caller converts into retry/shed logic
-        (e.g. the gateway's 429 + ``Retry-After``).  The historical
-        alternatives — ``overflow="reject"`` service-wide, or wrapping
-        this call in ``loop.run_in_executor`` — still work but are no
-        longer necessary.
+        Use ``submit(..., wait="async")`` for the non-blocking admission
+        a network front end needs, or wrap ``submit(...)`` yourself to
+        keep blocking admission with an awaitable.
         """
+        _warn_submit_shim("submit_async", 'submit(..., wait="async")')
         return asyncio.wrap_future(
-            self.submit(
+            self._submit(
                 item, spec, priority=priority, deadline=deadline, timeout=timeout
             )
         )
@@ -564,17 +654,10 @@ class LabelingService:
         priority: int | None = None,
         deadline: float | None = None,
     ) -> asyncio.Future:
-        """:meth:`submit_async` that never blocks the event loop.
-
-        Admission is strictly non-blocking: a full queue raises
-        :class:`QueueFull` *immediately* (regardless of the service's
-        overflow policy) instead of parking the event-loop thread in the
-        queue's condition wait.  This is the submission path a network
-        front end should use — the PR-5 sync-admission caveat on
-        :meth:`submit_async` does not apply here.
-        """
+        """Deprecated alias of ``submit(..., wait="async")``."""
+        _warn_submit_shim("submit_nowait_async", 'submit(..., wait="async")')
         return asyncio.wrap_future(
-            self.submit(
+            self._submit(
                 item, spec, priority=priority, deadline=deadline, nowait=True
             )
         )
@@ -587,16 +670,13 @@ class LabelingService:
         priority: int | None = None,
         deadline: float | None = None,
     ) -> list[asyncio.Future]:
-        """Bulk :meth:`submit_nowait_async`: non-blocking, input-ordered.
-
-        Per-item queue-full rejections surface on the corresponding
-        awaitables as :class:`QueueFull` (never raised mid-call), so a
-        streaming front end can shed the overflow items and serve the
-        rest.
-        """
+        """Deprecated alias of ``submit_many(..., wait="async")``."""
+        _warn_submit_shim(
+            "submit_many_nowait_async", 'submit_many(..., wait="async")'
+        )
         return [
             asyncio.wrap_future(future)
-            for future in self.submit_many(
+            for future in self._submit_many(
                 items, spec, priority=priority, deadline=deadline, nowait=True
             )
         ]
@@ -610,17 +690,15 @@ class LabelingService:
         deadline: float | None = None,
         timeout: float | None = None,
     ) -> list[asyncio.Future]:
-        """:meth:`submit_many` returning awaitables, input-ordered.
+        """Deprecated: blocking bulk admission + awaitable results.
 
-        Bulk admission runs synchronously (one queue round, like
-        :meth:`submit_many`); each returned awaitable then resolves on the
-        calling event loop.  Per-item admission failures surface when the
-        corresponding future is awaited, so ``asyncio.gather(...,
-        return_exceptions=True)`` sees the complete picture.
+        Use ``submit_many(..., wait="async")`` (non-blocking admission),
+        or wrap ``submit_many(...)`` yourself to keep blocking admission.
         """
+        _warn_submit_shim("submit_many_async", 'submit_many(..., wait="async")')
         return [
             asyncio.wrap_future(future)
-            for future in self.submit_many(
+            for future in self._submit_many(
                 items, spec, priority=priority, deadline=deadline, timeout=timeout
             )
         ]
@@ -630,6 +708,7 @@ class LabelingService:
 
         The ``workers`` map shows items per scheduling worker: per worker
         *process* (``pid<n>``) when the backend is a process pool, per
+        worker address (``host:port``) under the cluster backend, per
         service worker thread otherwise.
         """
         with self._state:
@@ -637,8 +716,8 @@ class LabelingService:
         extra = None
         if self._backend_counts:
             extra = {
-                f"pid{pid}": count
-                for pid, count in self.engine.backend.dispatch_counts.items()
+                worker if isinstance(worker, str) else f"pid{worker}": count
+                for worker, count in self.engine.backend.dispatch_counts.items()
             }
         return self.telemetry.snapshot(
             queue_depth=self.queue.depth, in_flight=in_flight, extra_workers=extra

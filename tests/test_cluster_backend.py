@@ -1,0 +1,476 @@
+"""ClusterBackend: hash ring, parity, lifecycle, chaos, refresh, serving.
+
+In-process workers (``serve_background``) keep the parity and lifecycle
+tests fast; the chaos tests use real worker *processes* via
+:func:`spawn_local_workers` so SIGKILL means SIGKILL.  Set
+``REPRO_MP_CONTEXT=spawn`` (the CI spawn leg does) to run the
+process-fleet tests under that start method.
+"""
+
+import multiprocessing
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ClusterBackend,
+    ClusterConfig,
+    ClusterWorker,
+    LabelingEngine,
+    WorkerDied,
+    spawn_local_workers,
+)
+from repro.engine.cluster import HashRing, _parse_address
+from repro.scheduling.qgreedy import (
+    AgentPredictor,
+    OraclePredictor,
+    QValuePredictor,
+)
+from repro.serving import LabelingService
+from repro.zoo.oracle import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def predictor(trained, zoo):
+    return AgentPredictor(trained.agent, len(zoo))
+
+
+@pytest.fixture(scope="module")
+def items(splits):
+    _, test = splits
+    return test.items[:12]
+
+
+@pytest.fixture(scope="module")
+def inproc_addresses():
+    """Three in-process socket workers shared by the fast tests."""
+    workers = [ClusterWorker().serve_background() for _ in range(3)]
+    yield tuple(worker.address for worker in workers)
+    for worker in workers:
+        worker.stop()
+
+
+def engine_for(zoo, predictor, world_config, backend):
+    return LabelingEngine(zoo, predictor, world_config, backend=backend)
+
+
+def mp_ctx():
+    """The ``REPRO_MP_CONTEXT`` multiprocessing context override, if any."""
+    method = os.environ.get("REPRO_MP_CONTEXT")
+    return multiprocessing.get_context(method) if method else None
+
+
+def assert_parity(got, ref):
+    assert len(got) == len(ref)
+    for r, g in zip(ref, got):
+        assert g.item_id == r.item_id
+        assert g.trace.executions == r.trace.executions
+        assert g.trace.total_value == r.trace.total_value
+
+
+#: All three paper regimes plus the capped q-greedy variant.
+REGIMES = (
+    {},
+    {"max_models": 4},
+    {"deadline": 0.35},
+    {"deadline": 0.5, "memory_budget": 8000.0},
+)
+
+
+class PoisonPredictor(QValuePredictor):
+    """Picklable predictor that raises on one designated item."""
+
+    def __init__(self, n_models: int, poison: str | None = None):
+        self.n_models = n_models
+        self.poison = poison
+
+    def predict(self, state):
+        if state.item_id == self.poison:
+            raise RuntimeError(f"poisoned item {state.item_id}")
+        return np.zeros(self.n_models)
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_total(self):
+        ring = HashRing(("a:1", "b:2", "c:3"))
+        keys = [f"item-{i}" for i in range(200)]
+        first = {key: ring.lookup(key) for key in keys}
+        assert set(first.values()) == {"a:1", "b:2", "c:3"}  # all nodes used
+        assert first == {key: ring.lookup(key) for key in keys}
+
+    def test_exclusion_moves_only_the_excluded_nodes_keys(self):
+        ring = HashRing(("a:1", "b:2", "c:3"))
+        keys = [f"item-{i}" for i in range(200)]
+        before = {key: ring.lookup(key) for key in keys}
+        after = {key: ring.lookup(key, exclude={"b:2"}) for key in keys}
+        for key in keys:
+            if before[key] != "b:2":
+                assert after[key] == before[key]  # survivors keep their keys
+            else:
+                assert after[key] != "b:2"
+
+    def test_all_excluded_raises(self):
+        ring = HashRing(("a:1",))
+        with pytest.raises(RuntimeError, match="no live cluster workers"):
+            ring.lookup("key", exclude={"a:1"})
+
+    def test_validation_and_dedupe(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            HashRing(())
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(("a:1",), replicas=0)
+        assert HashRing(("a:1", "b:2", "a:1")).nodes == ("a:1", "b:2")
+
+
+class TestAddresses:
+    @pytest.mark.parametrize("bad", ["nocolon", ":9000", "host:", "host:x"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError, match="host:port"):
+            _parse_address(bad)
+
+    def test_valid(self):
+        assert _parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    def test_backend_validates_eagerly(self):
+        with pytest.raises(ValueError, match="host:port"):
+            ClusterBackend(workers=("nocolon",))
+        with pytest.raises(ValueError, match="needs workers"):
+            ClusterBackend()
+
+
+class TestClusterParity:
+    """Cluster traces must equal SerialBackend's for every sharding."""
+
+    @pytest.mark.parametrize(
+        "n_workers,chunk_size,vectorized",
+        [(1, None, True), (3, None, True), (3, 2, True), (2, 5, False)],
+        ids=["w1", "w3", "w3-chunk2", "w2-chunk5-loop"],
+    )
+    def test_trace_identical_to_serial_all_regimes(
+        self,
+        zoo,
+        world_config,
+        predictor,
+        truth,
+        items,
+        inproc_addresses,
+        n_workers,
+        chunk_size,
+        vectorized,
+    ):
+        serial = engine_for(zoo, predictor, world_config, "serial")
+        backend = ClusterBackend(
+            workers=inproc_addresses[:n_workers],
+            chunk_size=chunk_size,
+            vectorized=vectorized,
+        )
+        with backend:
+            cluster = engine_for(zoo, predictor, world_config, backend)
+            for regime in REGIMES:
+                ref = serial.label_batch(items, truth=truth, **regime)
+                got = cluster.label_batch(items, truth=truth, **regime)
+                assert_parity(got, ref)
+
+    def test_post_snapshot_records_ship_as_chunk_deltas(
+        self, zoo, world_config, predictor, truth, items, inproc_addresses
+    ):
+        # The snapshot is captured at the first job, so a later job over
+        # items the snapshot never saw must carry their records with each
+        # chunk — and still match the serial run (the world is
+        # deterministic per item id).
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        shared = GroundTruth(zoo, [], world_config)
+        with ClusterBackend(workers=inproc_addresses[:2]) as backend:
+            engine = engine_for(zoo, predictor, world_config, backend)
+            first = engine.label_batch(items[:6], truth=shared)
+            second = engine.label_batch(items[6:], truth=shared)
+            transport = backend.chunk_stats["transport"]
+        for r, g in zip(ref, first + second):
+            assert g.trace.executions == r.trace.executions
+        deltas = transport.get("delta_codec", 0) + transport.get("delta_pickle", 0)
+        assert deltas > 0  # the post-snapshot records actually shipped
+
+    def test_oracle_predictor_crosses_the_wire(
+        self, zoo, world_config, truth, items, inproc_addresses
+    ):
+        oracle = OraclePredictor(truth)
+        ref = engine_for(zoo, oracle, world_config, "serial").label_batch(
+            items[:6], truth=truth
+        )
+        with ClusterBackend(workers=inproc_addresses[:2]) as backend:
+            got = engine_for(zoo, oracle, world_config, backend).label_batch(
+                items[:6], truth=truth
+            )
+        assert_parity(got, ref)
+
+    def test_single_item_takes_the_local_path(
+        self, zoo, world_config, predictor, truth, items, inproc_addresses
+    ):
+        # No connect, no snapshot ship for singleton jobs.
+        with ClusterBackend(workers=inproc_addresses) as backend:
+            engine = engine_for(zoo, predictor, world_config, backend)
+            [result] = engine.label_batch(items[:1], truth=truth)
+            assert result.item_id == items[0].item_id
+            assert backend._links == {}
+            assert backend.dispatch_counts == {"local": 1}
+
+
+class TestClusterLifecycle:
+    def test_snapshot_ships_once_and_connections_reuse(
+        self, zoo, world_config, predictor, truth, items, inproc_addresses
+    ):
+        with ClusterBackend(workers=inproc_addresses) as backend:
+            engine = engine_for(zoo, predictor, world_config, backend)
+            engine.label_batch(items, truth=truth)
+            links_after_first = dict(backend._links)
+            engine.label_batch(items, deadline=0.4, truth=truth)
+            assert backend._links == links_after_first  # no reconnect
+            stats = backend.cluster_stats
+            assert stats["snapshot_ships"] == len(inproc_addresses)
+            assert all(w["alive"] for w in stats["workers"].values())
+            assert sum(backend.dispatch_counts.values()) == 2 * len(items)
+
+    def test_world_switch_reships_snapshots(
+        self, zoo, world_config, trained, truth, items, inproc_addresses
+    ):
+        first = AgentPredictor(trained.agent, len(zoo))
+        second = AgentPredictor(trained.agent, len(zoo))
+        with ClusterBackend(workers=inproc_addresses[:2]) as backend:
+            engine_for(zoo, first, world_config, backend).label_batch(
+                items[:4], truth=truth
+            )
+            engine_for(zoo, second, world_config, backend).label_batch(
+                items[:4], truth=truth
+            )
+            assert backend.cluster_stats["snapshot_ships"] == 4  # 2 workers x 2
+
+    def test_world_switch_while_in_flight_raises(
+        self, zoo, world_config, trained, truth, items, inproc_addresses
+    ):
+        first = AgentPredictor(trained.agent, len(zoo))
+        second = AgentPredictor(trained.agent, len(zoo))
+        with ClusterBackend(workers=inproc_addresses[:2]) as backend:
+            engine_for(zoo, first, world_config, backend).label_batch(
+                items[:4], truth=truth
+            )
+            backend._active += 1  # another thread mid-run()
+            try:
+                with pytest.raises(RuntimeError, match="world-affine"):
+                    engine_for(zoo, second, world_config, backend).label_batch(
+                        items[:4], truth=truth
+                    )
+            finally:
+                backend._active -= 1
+            # same-world traffic was never blocked
+            engine_for(zoo, first, world_config, backend).label_batch(
+                items[:4], truth=truth
+            )
+
+    def test_unreachable_worker_is_skipped_with_survivors(
+        self, zoo, world_config, predictor, truth, items, inproc_addresses
+    ):
+        # Port 1 refuses connections; the job lands on the live workers.
+        addresses = inproc_addresses[:2] + ("127.0.0.1:1",)
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with ClusterBackend(workers=addresses, connect_timeout=2.0) as backend:
+            got = engine_for(zoo, predictor, world_config, backend).label_batch(
+                items, truth=truth
+            )
+            stats = backend.cluster_stats["workers"]
+            assert not stats["127.0.0.1:1"]["alive"]
+        assert_parity(got, ref)
+
+    def test_no_reachable_workers_raises(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        with ClusterBackend(
+            workers=("127.0.0.1:1",), connect_timeout=2.0
+        ) as backend:
+            engine = engine_for(zoo, predictor, world_config, backend)
+            with pytest.raises(RuntimeError, match="no live cluster workers"):
+                engine.label_batch(items, truth=truth)
+
+    def test_close_then_reuse_reconnects(
+        self, zoo, world_config, predictor, truth, items, inproc_addresses
+    ):
+        backend = ClusterBackend(workers=inproc_addresses[:2])
+        engine = engine_for(zoo, predictor, world_config, backend)
+        engine.label_batch(items[:4], truth=truth)
+        backend.close()
+        assert backend._links == {}
+        backend.close()  # idempotent
+        engine.label_batch(items[:4], truth=truth)  # reconnect + re-ship
+        assert backend.cluster_stats["snapshot_ships"] == 4
+        backend.close()
+
+
+class TestRefresh:
+    def test_refresh_before_any_job_raises(self, inproc_addresses, predictor):
+        with ClusterBackend(workers=inproc_addresses[:1]) as backend:
+            with pytest.raises(RuntimeError, match="before any job"):
+                backend.refresh(predictor)
+
+    def test_refresh_while_in_flight_raises(
+        self, zoo, world_config, predictor, truth, items, inproc_addresses
+    ):
+        with ClusterBackend(workers=inproc_addresses[:1]) as backend:
+            engine_for(zoo, predictor, world_config, backend).label_batch(
+                items[:4], truth=truth
+            )
+            backend._active += 1
+            try:
+                with pytest.raises(RuntimeError, match="in flight"):
+                    backend.refresh(predictor)
+            finally:
+                backend._active -= 1
+
+    def test_refresh_hot_swaps_without_reshipping(
+        self, zoo, world_config, trained, truth, items, inproc_addresses
+    ):
+        # New predictor object, same world otherwise: refresh() sends one
+        # control frame per worker instead of tearing down connections,
+        # and the next job runs against the refreshed weights in parity
+        # with a serial run of the new predictor.
+        old = AgentPredictor(trained.agent, len(zoo))
+        new = AgentPredictor(trained.agent, len(zoo))
+        ref = engine_for(zoo, new, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with ClusterBackend(workers=inproc_addresses) as backend:
+            engine_for(zoo, old, world_config, backend).label_batch(
+                items, truth=truth
+            )
+            assert backend.refresh(new) == len(inproc_addresses)
+            got = engine_for(zoo, new, world_config, backend).label_batch(
+                items, truth=truth
+            )
+            stats = backend.cluster_stats
+            assert stats["refreshes"] == 1
+            # world re-anchored on the new predictor: no snapshot re-ship
+            assert stats["snapshot_ships"] == len(inproc_addresses)
+        assert_parity(got, ref)
+
+
+class TestChaos:
+    """Real worker processes, real SIGKILL."""
+
+    def test_chunk_error_fails_the_job_not_the_cluster(
+        self, zoo, world_config, truth, items, inproc_addresses
+    ):
+        poison = PoisonPredictor(len(zoo), poison=items[1].item_id)
+        with ClusterBackend(
+            workers=inproc_addresses[:2], chunk_size=2
+        ) as backend:
+            engine = engine_for(zoo, poison, world_config, backend)
+            with pytest.raises(RuntimeError, match="poisoned item"):
+                engine.label_batch(items[:6], truth=truth)
+            # The cluster survived: a job avoiding the poison runs.
+            clean = engine.label_batch(items[2:6], truth=truth)
+            assert [r.item_id for r in clean] == [i.item_id for i in items[2:6]]
+
+    def test_sigkill_mid_job_redispatches_with_identical_trace(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        with spawn_local_workers(
+            3, mp_context=mp_ctx(), delay_per_item=0.05
+        ) as fleet:
+            with ClusterBackend(workers=fleet.addresses, chunk_size=2) as backend:
+                engine = engine_for(zoo, predictor, world_config, backend)
+                engine.label_batch(items, truth=truth)  # warm: ship world
+                # Kill the worker that owned the most items in the warm
+                # run — identical items and chunking mean it owns chunks
+                # of the next job too, and 0.05s/item of delay keeps it
+                # busy well past the kill.
+                counts = backend.dispatch_counts
+                victim = max(
+                    range(3), key=lambda i: counts.get(fleet.addresses[i], 0)
+                )
+                timer = threading.Timer(0.08, fleet.kill, args=(victim,))
+                timer.start()
+                try:
+                    got = engine.label_batch(items, truth=truth)
+                finally:
+                    timer.cancel()
+                stats = backend.cluster_stats
+                assert stats["redispatched"] >= 1
+                assert not stats["workers"][fleet.addresses[victim]]["alive"]
+        assert_parity(got, ref)
+
+    def test_dead_worker_rejoins_with_fresh_snapshot(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        with spawn_local_workers(2, mp_context=mp_ctx()) as fleet:
+            with ClusterBackend(workers=fleet.addresses, chunk_size=3) as backend:
+                engine = engine_for(zoo, predictor, world_config, backend)
+                ref = engine.label_batch(items, truth=truth)
+                fleet.kill(0)
+                # Job while one worker is down: survivors cover its chunks.
+                down = engine.label_batch(items, truth=truth)
+                assert_parity(down, ref)
+                # Same port, fresh process: the next job re-ships the
+                # snapshot to the rejoined worker and uses it again.
+                fleet.restart(0)
+                back = engine.label_batch(items, truth=truth)
+                assert_parity(back, ref)
+                stats = backend.cluster_stats
+                assert stats["workers"][fleet.addresses[0]]["snapshot_ships"] == 2
+                assert all(w["alive"] for w in stats["workers"].values())
+
+    def test_worker_died_is_a_connection_error(self):
+        exc = WorkerDied("10.0.0.7:9000", "mid-frame")
+        assert isinstance(exc, ConnectionError)
+        assert exc.address == "10.0.0.7:9000"
+        assert "10.0.0.7:9000" in str(exc)
+
+
+class TestServiceCluster:
+    def test_service_end_to_end_owns_and_closes_the_fleet(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        engine = engine_for(zoo, predictor, world_config, "batched")
+        service = LabelingService(
+            engine,
+            backend=ClusterConfig(local_workers=2, mp_context=mp_ctx()),
+            batch_size=4,
+            max_wait=0.005,
+            workers=2,
+            truth=truth,
+        )
+        assert isinstance(service.engine.backend, ClusterBackend)
+        with service:
+            results = [f.result(timeout=60) for f in service.submit_many(items)]
+            service.drain()
+        assert_parity(results, ref)
+        snapshot = service.snapshot()
+        assert snapshot.counters["failed"] == 0
+        # Per-worker dispatch counters name the socket workers.
+        assert any(":" in worker for worker in snapshot.workers)
+        # Shutdown closed the service-owned backend: links and fleet gone.
+        assert service.engine.backend._links == {}
+        assert service.engine.backend._fleet is None
+
+    def test_lazy_local_fleet_spawns_on_first_job(
+        self, zoo, world_config, predictor, truth, items
+    ):
+        with ClusterBackend(local_workers=2, mp_context=mp_ctx()) as backend:
+            assert backend._fleet is None  # nothing spawned at config time
+            engine = engine_for(zoo, predictor, world_config, backend)
+            got = engine.label_batch(items, truth=truth)
+            assert backend._fleet is not None
+            assert len(backend._fleet.addresses) == 2
+        ref = engine_for(zoo, predictor, world_config, "serial").label_batch(
+            items, truth=truth
+        )
+        assert_parity(got, ref)

@@ -222,7 +222,13 @@ class TestRecordLifecycle:
 
 class TestEngineApi:
     def test_make_backend_registry(self):
-        assert set(BACKEND_REGISTRY) == {"serial", "batched", "thread", "process"}
+        assert set(BACKEND_REGISTRY) == {
+            "serial",
+            "batched",
+            "thread",
+            "process",
+            "cluster",
+        }
         assert isinstance(make_backend("serial"), SerialBackend)
         assert isinstance(make_backend("batched"), BatchedBackend)
         assert isinstance(make_backend("thread"), ThreadPoolBackend)

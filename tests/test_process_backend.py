@@ -234,7 +234,8 @@ class TestPoolLifecycle:
             assert len(results) == 4
 
     def test_make_backend_kwargs(self):
-        backend = make_backend("process", max_workers=3, chunk_size=2)
+        with pytest.warns(DeprecationWarning, match="typed ProcessConfig"):
+            backend = make_backend("process", max_workers=3, chunk_size=2)
         assert isinstance(backend, ProcessPoolBackend)
         assert backend.max_workers == 3
         assert backend.chunk_size == 2

@@ -1,0 +1,170 @@
+"""The unified submit family: wait= modes and the deprecated shims."""
+
+import asyncio
+from concurrent.futures import Future
+
+import pytest
+
+from repro.engine import LabelingEngine
+from repro.rl.agents import make_agent
+from repro.scheduling.qgreedy import AgentPredictor
+from repro.serving import LabelingService, QueueFull
+
+
+@pytest.fixture(scope="module")
+def predictor(zoo, space):
+    agent = make_agent(
+        "dueling_dqn", obs_dim=len(space), n_actions=len(zoo) + 1, hidden_size=32
+    )
+    return AgentPredictor(agent, len(zoo))
+
+
+@pytest.fixture(scope="module")
+def engine(zoo, predictor, world_config):
+    return LabelingEngine(zoo, predictor, world_config)
+
+
+@pytest.fixture(scope="module")
+def items(splits):
+    _, test = splits
+    return test.items[:16]
+
+
+class TestWaitModes:
+    def test_invalid_wait_mode(self, engine, truth, items):
+        service = LabelingService(engine, truth=truth)
+        with pytest.raises(ValueError, match="wait must be"):
+            service.submit(items[0], wait="eventually")
+        with pytest.raises(ValueError, match="wait must be"):
+            service.submit_many(items[:2], wait="eventually")
+
+    def test_block_returns_concurrent_future(self, engine, truth, items):
+        service = LabelingService(engine, batch_size=4, truth=truth)
+        with service:
+            future = service.submit(items[0])
+            assert isinstance(future, Future)
+            result = future.result(timeout=30)
+            service.drain()
+        assert result.item_id == items[0].item_id
+
+    def test_nowait_rejects_immediately_despite_block_policy(
+        self, engine, truth, items
+    ):
+        # overflow="block" would park the caller; wait="nowait" must not.
+        service = LabelingService(
+            engine, truth=truth, max_depth=2, overflow="block"
+        )
+        service.submit(items[0], wait="nowait")
+        service.submit(items[1], wait="nowait")
+        with pytest.raises(QueueFull):
+            service.submit(items[2], wait="nowait")
+        with service:
+            pass  # drain the two admitted requests
+        assert service.snapshot().counters["rejected"] == 1
+
+    def test_legacy_nowait_flag_folds_into_nowait_mode(
+        self, engine, truth, items
+    ):
+        service = LabelingService(
+            engine, truth=truth, max_depth=1, overflow="block"
+        )
+        service.submit(items[0], nowait=True)
+        with pytest.raises(QueueFull):
+            service.submit(items[1], nowait=True)
+        with service:
+            pass
+
+    def test_async_returns_awaitables_on_the_calling_loop(
+        self, engine, truth, items
+    ):
+        async def run():
+            service = LabelingService(engine, batch_size=4, truth=truth)
+            with service:
+                one = service.submit(items[0], wait="async")
+                assert isinstance(one, asyncio.Future)
+                many = service.submit_many(items[1:5], wait="async")
+                assert all(isinstance(f, asyncio.Future) for f in many)
+                results = await asyncio.gather(one, *many)
+                service.drain()
+            return results
+
+        results = asyncio.run(run())
+        assert [r.item_id for r in results] == [i.item_id for i in items[:5]]
+
+    def test_async_admission_never_blocks(self, engine, truth, items):
+        # A full queue fails the futures instead of parking the loop.
+        async def run():
+            service = LabelingService(
+                engine, batch_size=4, truth=truth, max_depth=2, overflow="block"
+            )
+            # Submit before the workers start so the queue cannot drain:
+            # exactly max_depth admissions, the rest must fail instantly.
+            futures = service.submit_many(items[:6], wait="async")
+            with service:
+                outcomes = await asyncio.gather(*futures, return_exceptions=True)
+                service.drain()
+            return outcomes
+
+        outcomes = asyncio.run(run())
+        assert sum(isinstance(o, QueueFull) for o in outcomes) == 4
+
+    def test_submit_many_modes_return_input_ordered_lists(
+        self, engine, truth, items
+    ):
+        service = LabelingService(engine, batch_size=4, truth=truth)
+        with service:
+            futures = service.submit_many(items[:8], wait="nowait")
+            results = [f.result(timeout=30) for f in futures]
+            service.drain()
+        assert [r.item_id for r in results] == [i.item_id for i in items[:8]]
+
+
+class TestDeprecatedShims:
+    """The four old async names: warn, but pin the exact old behavior."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "submit_async",
+            "submit_nowait_async",
+            "submit_many_async",
+            "submit_many_nowait_async",
+        ],
+    )
+    def test_shims_warn(self, engine, truth, items, name):
+        async def run():
+            service = LabelingService(engine, batch_size=4, truth=truth)
+            with service:
+                with pytest.warns(DeprecationWarning, match=name):
+                    out = getattr(service, name)(
+                        items if name.startswith("submit_many") else items[0]
+                    )
+                futures = out if isinstance(out, list) else [out]
+                results = await asyncio.gather(*futures)
+                service.drain()
+            return results
+
+        results = asyncio.run(run())
+        expected = items if name.startswith("submit_many") else items[:1]
+        assert [r.item_id for r in results] == [i.item_id for i in expected]
+
+    def test_submit_async_keeps_blocking_admission(self, engine, truth, items):
+        # The old submit_async parked on a full queue until space freed —
+        # distinct from wait="async", which rejects. The shim must keep
+        # doing so (the queue drains once the service is running).
+        async def run():
+            service = LabelingService(
+                engine, batch_size=2, max_wait=0.005, truth=truth, max_depth=2
+            )
+            with service:
+                with pytest.warns(DeprecationWarning):
+                    futures = [
+                        service.submit_async(item, timeout=10.0)
+                        for item in items[:8]
+                    ]
+                results = await asyncio.gather(*futures)
+                service.drain()
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 8
