@@ -157,6 +157,10 @@ def cmd_train(args) -> int:
 
 
 def cmd_schedule(args) -> int:
+    from pathlib import Path
+
+    if args.resume and args.manifest is None:
+        raise SystemExit("--resume requires --manifest")
     config, space, zoo = _world(args)
     truth = load_ground_truth(zoo, args.truth, config)
     agent = make_agent(
@@ -169,6 +173,48 @@ def cmd_schedule(args) -> int:
     predictor = AgentPredictor(agent, len(zoo))
     _, eval_ids = _split_ids(list(truth.item_ids), args.seed)
     eval_ids = eval_ids[: args.items]
+
+    # --manifest makes the run resumable: the full item list and every
+    # completion are persisted (atomically), so a killed run picks up
+    # with --resume exactly where it stopped, mid-trace.
+    manifest = None
+    already_done = 0
+    if args.manifest is not None:
+        from repro.durability import RunManifest
+
+        params = {
+            "truth": args.truth,
+            "agent": args.agent,
+            "deadline": args.deadline,
+            "memory": args.memory,
+            "scale": args.scale,
+            "seed": args.seed,
+            "items": args.items,
+        }
+        if args.resume:
+            manifest = RunManifest.load(args.manifest)
+            if manifest.params != params:
+                print(
+                    "warning: flags differ from the manifest's recorded "
+                    "run parameters; using the manifest's item list anyway",
+                    file=sys.stderr,
+                )
+            already_done = manifest.done
+            eval_ids = manifest.remaining
+            print(
+                f"resuming {args.manifest}: {already_done} item(s) already "
+                f"done, {len(eval_ids)} remaining"
+            )
+            if not eval_ids:
+                print("nothing left to schedule")
+                return 0
+        elif Path(args.manifest).exists():
+            raise SystemExit(
+                f"{args.manifest} already exists; pass --resume to continue "
+                f"that run (or remove the file to start over)"
+            )
+        else:
+            manifest = RunManifest.create(args.manifest, eval_ids, params)
 
     engine = LabelingEngine(
         zoo,
@@ -189,16 +235,24 @@ def cmd_schedule(args) -> int:
             release_records=False,
         ):
             recalls.append(result.trace.recall_by(args.deadline))
+            if manifest is not None:
+                manifest.mark_done(
+                    result.item_id, {"recall": round(recalls[-1], 6)}
+                )
             if args.verbose:
                 models = ", ".join(result.models_executed)
                 print(f"{result.item_id}: recall {recalls[-1]:.1%} [{models}]")
     finally:
+        if manifest is not None:
+            manifest.save()
         engine.backend.close()
+    resumed = f" ({already_done} resumed from manifest)" if already_done else ""
     print(
         f"scheduled {len(eval_ids)} items under deadline={args.deadline}s"
         + (f", memory={args.memory}MB" if args.memory is not None else "")
         + f" [{args.backend} backend, batch {args.batch_size}]"
         + f": mean value recall {np.mean(recalls):.1%}"
+        + resumed
     )
     return 0
 
@@ -235,6 +289,7 @@ def cmd_graph(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal
     import threading
     import time
 
@@ -307,9 +362,29 @@ def cmd_serve(args) -> int:
         cache_size=args.cache_size or None,
         registry=registry,
         tracer=tracer,
+        journal=args.journal,
+        journal_fsync=args.journal_fsync,
     )
 
     items = list(dataset)
+
+    # Graceful shutdown: SIGTERM/SIGINT stop the load generators, then
+    # the normal drain (bounded by --drain-timeout) and report run —
+    # acknowledged work completes, the journal flushes, and we exit 0.
+    stopping = threading.Event()
+
+    def handle_signal(signum, frame) -> None:
+        print(
+            f"received {signal.Signals(signum).name}: stopping clients and "
+            f"draining (timeout {args.drain_timeout:.0f}s)",
+            flush=True,
+        )
+        stopping.set()
+
+    previous_handlers = {
+        sig: signal.signal(sig, handle_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
 
     def client(index: int) -> None:
         # Each client replays its slice of the stream at ~rate/clients
@@ -324,6 +399,8 @@ def cmd_serve(args) -> int:
             else service.default_spec
         )
         for item in list(items[index :: args.clients]) * args.repeat:
+            if stopping.is_set():
+                return
             try:
                 service.submit(
                     item,
@@ -337,6 +414,13 @@ def cmd_serve(args) -> int:
 
     try:
         with service:
+            if args.recover:
+                report = service.recover()
+                print(
+                    f"recovery: {report.replayed} journaled request(s) "
+                    f"replayed, {report.recovered} recovered, "
+                    f"{report.failed} failed ({report.duration:.3f}s)"
+                )
             threads = [
                 threading.Thread(target=client, args=(i,))
                 for i in range(args.clients)
@@ -345,7 +429,7 @@ def cmd_serve(args) -> int:
                 thread.start()
             for thread in threads:
                 thread.join()
-            service.drain()
+            service.drain(args.drain_timeout if stopping.is_set() else None)
         regimes = (
             "mixed regimes (qgreedy + deadline + deadline_memory)"
             if args.mixed_regimes
@@ -361,6 +445,14 @@ def cmd_serve(args) -> int:
         print(snapshot.format())
         if service.cache is not None:
             print(f"  result cache {service.cache.stats().format()}")
+        if service.journal is not None:
+            jstats = service.journal.stats()
+            print(
+                f"  journal     {jstats.admitted} admitted, "
+                f"{sum(jstats.terminals.values())} terminals, "
+                f"{jstats.pending} pending, {jstats.fsyncs} fsyncs, "
+                f"{jstats.segments} segment(s)"
+            )
         if tracer is not None:
             print(
                 f"  traces      {tracer.finished} finished, "
@@ -380,6 +472,8 @@ def cmd_serve(args) -> int:
             time.sleep(args.metrics_linger)
         return 0 if snapshot.counters["failed"] == 0 else 1
     finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
         service.engine.backend.close()
         if metrics_server is not None:
             metrics_server.close()
@@ -391,6 +485,9 @@ def cmd_serve(args) -> int:
 
 def cmd_gateway(args) -> int:
     import asyncio
+    import contextlib
+    import signal
+    from pathlib import Path
 
     from repro.obs import MetricsRegistry, TraceBuffer, install, uninstall
     from repro.serving import HierarchicalRequestQueue, LabelingService
@@ -433,6 +530,9 @@ def cmd_gateway(args) -> int:
         agent.load(args.agent)
     predictor = AgentPredictor(agent, len(zoo))
     engine = LabelingEngine(zoo, predictor, config)
+    # One --journal directory holds both durability domains: the
+    # service's admission WAL and the gateway's job store.
+    journal_dir = Path(args.journal) if args.journal is not None else None
     service = LabelingService(
         engine,
         backend=_backend(args),
@@ -444,6 +544,8 @@ def cmd_gateway(args) -> int:
         cache_size=args.cache_size or None,
         registry=registry,
         tracer=tracer,
+        journal=journal_dir / "service" if journal_dir else None,
+        journal_fsync=args.journal_fsync,
         # Tenant-fair dispatch: outer stride over tenants (weights from
         # the roster), inner stride over batch keys within each tenant.
         queue_factory=lambda **kw: HierarchicalRequestQueue(
@@ -458,6 +560,7 @@ def cmd_gateway(args) -> int:
         tracer=tracer,
         host=args.host,
         port=args.port,
+        journal=journal_dir / "jobs" if journal_dir else None,
     )
 
     async def run() -> None:
@@ -467,24 +570,56 @@ def cmd_gateway(args) -> int:
             f"({len(gateway.catalog)} items, {len(directory)} tenants)",
             flush=True,
         )
+        # SIGTERM and SIGINT both mean "stop accepting, drain, exit 0":
+        # the event breaks this loop, then the drain below (bounded by
+        # --drain-timeout) settles in-flight work and flushes journals.
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(sig, stop_event.set)
         try:
             if args.duration is not None:
-                await asyncio.sleep(args.duration)
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(stop_event.wait(), args.duration)
             else:
-                await gateway.serve_forever()
+                await stop_event.wait()
+            if stop_event.is_set():
+                print(
+                    f"shutdown signal: draining (timeout "
+                    f"{args.drain_timeout:.0f}s)",
+                    flush=True,
+                )
         finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.remove_signal_handler(sig)
             await gateway.stop_async()
 
     try:
         with service:
+            if args.recover and service.journal is not None:
+                report = service.recover()
+                print(
+                    f"recovery: {report.replayed} journaled request(s) "
+                    f"replayed, {report.recovered} recovered, "
+                    f"{report.failed} failed ({report.duration:.3f}s)"
+                )
             try:
                 asyncio.run(run())
             except KeyboardInterrupt:
                 pass
-            service.drain()
+            service.drain(args.drain_timeout)
         print(service.snapshot().format())
         if service.cache is not None:
             print(f"  result cache {service.cache.stats().format()}")
+        if service.journal is not None:
+            jstats = service.journal.stats()
+            print(
+                f"  journal     {jstats.admitted} admitted, "
+                f"{sum(jstats.terminals.values())} terminals, "
+                f"{jstats.pending} pending"
+            )
         return 0
     finally:
         service.engine.backend.close()
@@ -643,6 +778,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--batch-size", type=int, default=64)
     p.add_argument("--verbose", action="store_true")
+    p.add_argument(
+        "--manifest",
+        default=None,
+        help="persist run progress to this JSON manifest so a killed run "
+        "can continue with --resume",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the run recorded in --manifest, scheduling only the "
+        "items not yet marked done",
+    )
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("zoo", help="print the model zoo (Table I)")
@@ -746,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the trace ring as JSON to this path at exit",
     )
+    _add_durability_flags(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -804,6 +952,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algo", default="dueling_dqn", choices=sorted(AGENT_REGISTRY))
     p.add_argument("--hidden", type=int, default=256)
     p.add_argument("--trace-buffer", type=int, default=512)
+    _add_durability_flags(p)
     p.set_defaults(func=cmd_gateway)
 
     p = sub.add_parser(
@@ -851,6 +1000,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_trace)
     return parser
+
+
+def _add_durability_flags(p: argparse.ArgumentParser) -> None:
+    """The crash-safety flags shared by ``serve`` and ``gateway``."""
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead journal directory; admitted requests (and, for "
+        "gateway, async jobs) survive a crash and replay on --recover",
+    )
+    p.add_argument(
+        "--journal-fsync",
+        default="batch",
+        choices=("none", "batch", "always"),
+        help="fsync policy: always = every admission durable before its "
+        "submit returns; batch = fsync at micro-batch boundaries "
+        "(default); none = leave syncing to the OS",
+    )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help="before serving, replay journaled admissions that never "
+        "reached a terminal (requires --journal)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight work when a shutdown signal "
+        "arrives before exiting anyway",
+    )
 
 
 def _configure_logging(level: str | None) -> None:

@@ -1,0 +1,225 @@
+"""Checkpointed watermarks, atomic file writes, and batch-run manifests.
+
+Three durability primitives that bound how much work a crash can cost:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_json` — write-to-temp
+  then :func:`os.replace` in the *same* directory, with an fsync of the
+  temp file before the rename.  A crash at any instant leaves either the
+  old file or the new file on disk, never a torn hybrid.  Every
+  durability-layer writer (checkpoints, manifests) and
+  :func:`repro.persistence.save_ground_truth` go through this.
+* :class:`CheckpointStore` — the journal's completion watermark.  A
+  checkpoint snapshots ``(seq, pending payloads)`` at one instant; replay
+  then starts from the snapshot and scans only records *after* ``seq``,
+  so recovery work is bounded by the gap since the last checkpoint
+  instead of the journal's lifetime, and segments whose records all
+  precede the watermark are deletable (compaction).
+* :class:`RunManifest` — the resume unit for long batch jobs.  A
+  ``repro.cli schedule --manifest`` run records its world parameters and
+  the full item list up front, then marks items done as results land
+  (atomically, every ``flush_every`` completions); ``--resume`` reloads
+  the manifest and schedules only the remainder, mid-trace.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CheckpointStore",
+    "RunManifest",
+    "atomic_write_bytes",
+    "atomic_write_json",
+]
+
+_MANIFEST_VERSION = 1
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` so a crash never leaves a torn file.
+
+    The bytes land in a temp file in the target directory (same
+    filesystem, so the final :func:`os.replace` is atomic), are fsynced,
+    and only then renamed over the destination.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | Path, obj) -> None:
+    """Atomically write ``obj`` as (sorted-key, indented) JSON."""
+    atomic_write_bytes(
+        path, json.dumps(obj, indent=2, sort_keys=True).encode("utf-8")
+    )
+
+
+@dataclass(frozen=True)
+class _Checkpoint:
+    """One loaded watermark: the seq it covers and the pending payloads."""
+
+    #: Every journal record with ``seq <= seq`` is summarized here.
+    seq: int
+    #: seq -> raw admission payload, for admissions still unresolved at
+    #: checkpoint time.
+    pending: dict[int, bytes]
+
+
+class CheckpointStore:
+    """Atomic load/save of a journal's completion watermark.
+
+    The file is JSON — a structure an operator can inspect — with the
+    binary admission payloads base64-encoded.  Writes are atomic
+    (:func:`atomic_write_json`), so the journal always finds either the
+    previous checkpoint or the new one, never a torn file.
+    """
+
+    FILENAME = "checkpoint.json"
+
+    def __init__(self, directory: str | Path):
+        self.path = Path(directory) / self.FILENAME
+
+    def load(self) -> _Checkpoint:
+        """The stored watermark, or the empty one when none exists."""
+        try:
+            with open(self.path, "rb") as fh:
+                raw = json.load(fh)
+        except FileNotFoundError:
+            return _Checkpoint(seq=0, pending={})
+        return _Checkpoint(
+            seq=int(raw["seq"]),
+            pending={
+                int(seq): base64.b64decode(payload)
+                for seq, payload in raw.get("pending", {}).items()
+            },
+        )
+
+    def save(self, seq: int, pending: dict[int, bytes]) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "seq": seq,
+                "pending": {
+                    str(s): base64.b64encode(payload).decode("ascii")
+                    for s, payload in pending.items()
+                },
+            },
+        )
+
+
+class RunManifest:
+    """Resumable record of one long batch labeling run.
+
+    The manifest is a single JSON file: the run's parameters (whatever
+    the caller passes as ``params`` — the CLI stores truth/agent paths
+    and budgets), the ordered item list, and a ``completed`` map of
+    item id -> result summary.  :meth:`mark_done` buffers completions
+    and flushes atomically every ``flush_every`` items (and at
+    :meth:`save`), so a killed run loses at most ``flush_every - 1``
+    results — and never the file itself.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        params: dict | None = None,
+        item_ids: list[str] | None = None,
+        completed: dict[str, dict] | None = None,
+        created_at: float | None = None,
+        flush_every: int = 10,
+    ):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.params = dict(params or {})
+        self.item_ids = list(item_ids or [])
+        self.completed = dict(completed or {})
+        self.created_at = time.time() if created_at is None else created_at
+        self.flush_every = flush_every
+        self._dirty = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        item_ids: list[str],
+        params: dict | None = None,
+        *,
+        flush_every: int = 10,
+    ) -> "RunManifest":
+        """Start a fresh run: write the manifest before any work happens."""
+        manifest = cls(
+            path, params=params, item_ids=item_ids, flush_every=flush_every
+        )
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, path: str | Path, *, flush_every: int = 10) -> "RunManifest":
+        with open(path, "rb") as fh:
+            raw = json.load(fh)
+        version = int(raw.get("version", 0))
+        if version != _MANIFEST_VERSION:
+            raise ValueError(f"unsupported run-manifest version v{version}")
+        return cls(
+            path,
+            params=raw.get("params", {}),
+            item_ids=raw.get("item_ids", []),
+            completed=raw.get("completed", {}),
+            created_at=raw.get("created_at"),
+            flush_every=flush_every,
+        )
+
+    # -- progress ------------------------------------------------------------
+
+    @property
+    def remaining(self) -> list[str]:
+        """Item ids not yet marked done, in the run's original order."""
+        return [i for i in self.item_ids if i not in self.completed]
+
+    @property
+    def done(self) -> int:
+        return len(self.completed)
+
+    def mark_done(self, item_id: str, summary: dict | None = None) -> None:
+        """Record one completion; flushes every ``flush_every`` marks."""
+        self.completed[item_id] = summary if summary is not None else {}
+        self._dirty += 1
+        if self._dirty >= self.flush_every:
+            self.save()
+
+    def save(self) -> None:
+        """Atomically persist the manifest (no-op-safe to call anytime)."""
+        atomic_write_json(
+            self.path,
+            {
+                "version": _MANIFEST_VERSION,
+                "created_at": self.created_at,
+                "params": self.params,
+                "item_ids": self.item_ids,
+                "completed": self.completed,
+            },
+        )
+        self._dirty = 0

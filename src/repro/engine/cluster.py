@@ -50,6 +50,7 @@ import math
 import multiprocessing
 import os
 import pickle
+import random
 import socket
 import struct
 import threading
@@ -554,6 +555,15 @@ class ClusterBackend(ExecutionBackend):
     connect_timeout:
         Seconds to wait per worker TCP connect before marking it
         unreachable.
+    connect_attempts:
+        Dial attempts per worker per job before skipping it; transient
+        refusals (a worker restarting, a race with fleet spawn) are
+        retried with jittered exponential backoff instead of silently
+        shrinking the ring for a whole job.
+    connect_backoff:
+        Base seconds between dial attempts; each retry doubles it and
+        applies +-50% jitter so a fleet reconnecting en masse does not
+        hammer a recovering worker in lockstep.
     replicas:
         Virtual nodes per worker on the hash ring.
     mp_context:
@@ -572,6 +582,8 @@ class ClusterBackend(ExecutionBackend):
         chunk_size: int | None = None,
         vectorized: bool = True,
         connect_timeout: float = 10.0,
+        connect_attempts: int = 3,
+        connect_backoff: float = 0.2,
         replicas: int = 32,
         mp_context=None,
     ):
@@ -589,6 +601,10 @@ class ClusterBackend(ExecutionBackend):
             raise ValueError("chunk_size must be >= 1")
         if connect_timeout <= 0:
             raise ValueError("connect_timeout must be positive")
+        if connect_attempts < 1:
+            raise ValueError("connect_attempts must be >= 1")
+        if connect_backoff < 0:
+            raise ValueError("connect_backoff must be >= 0")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         self.workers = workers
@@ -596,6 +612,8 @@ class ClusterBackend(ExecutionBackend):
         self.chunk_size = chunk_size
         self.vectorized = vectorized
         self.connect_timeout = connect_timeout
+        self.connect_attempts = connect_attempts
+        self.connect_backoff = connect_backoff
         self.replicas = replicas
         self.mp_context = mp_context
         self._lock = threading.Lock()
@@ -727,6 +745,33 @@ class ClusterBackend(ExecutionBackend):
         fleet = self._fleet.addresses if self._fleet is not None else ()
         return self.workers + tuple(fleet)
 
+    def _dial(self, address: str) -> _Link:
+        """Connect to one worker, retrying transient failures with backoff.
+
+        Only the TCP connect is retried — once a link exists, failures
+        are the re-dispatch path's problem.  Backoff doubles per attempt
+        with +-50% jitter; the last failure propagates to the caller,
+        which logs and skips the worker for this job.
+        """
+        delay = self.connect_backoff
+        for attempt in range(1, self.connect_attempts + 1):
+            try:
+                return _Link(address, self.connect_timeout)
+            except OSError:
+                if attempt == self.connect_attempts:
+                    raise
+                sleep = delay * random.uniform(0.5, 1.5)
+                logger.debug(
+                    "dial %s failed (attempt %d/%d); retrying in %.2fs",
+                    address,
+                    attempt,
+                    self.connect_attempts,
+                    sleep,
+                )
+                time.sleep(sleep)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _ensure_cluster(
         self, truth: GroundTruth, predictor: QValuePredictor
     ) -> tuple[dict[str, _Link], frozenset[str], HashRing]:
@@ -773,7 +818,7 @@ class ClusterBackend(ExecutionBackend):
                         (self._snapshot, self.vectorized)
                     )
                 try:
-                    link = _Link(address, self.connect_timeout)
+                    link = self._dial(address)
                     link.call(MSG_SNAPSHOT, snapshot_body)
                 except (OSError, WorkerDied) as exc:
                     logger.warning(

@@ -167,6 +167,8 @@ class ClusterConfig(BackendConfig):
     chunk_size: int | None = None
     vectorized: bool = True
     connect_timeout: float = 10.0
+    connect_attempts: int = 3
+    connect_backoff: float = 0.2
     replicas: int = 32
     mp_context: object = None
 
@@ -185,6 +187,10 @@ class ClusterConfig(BackendConfig):
             raise ValueError("chunk_size must be >= 1")
         if self.connect_timeout <= 0:
             raise ValueError("connect_timeout must be positive")
+        if self.connect_attempts < 1:
+            raise ValueError("connect_attempts must be >= 1")
+        if self.connect_backoff < 0:
+            raise ValueError("connect_backoff must be >= 0")
         if self.replicas < 1:
             raise ValueError("replicas must be >= 1")
 

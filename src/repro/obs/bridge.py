@@ -24,6 +24,9 @@ Exported families (the full catalog lives in README "Observability"):
   (the gateway's fairness and isolation numbers)
 * ``repro_cache_*`` and ``repro_backend_*`` when the service has a result
   cache / a chunk-counting backend
+* ``repro_journal_*`` / ``repro_recovery_*`` when the service carries a
+  write-ahead journal — records, fsyncs, pending backlog, compaction,
+  and replay outcomes of each ``recover()``
 
 This module imports only :mod:`repro.obs.registry`; the service imports
 *it* lazily (only when constructed with a registry), so the obs package
@@ -302,6 +305,95 @@ def service_families(service) -> list[MetricFamily]:
                     ({"path": path}, count)
                     for path, count in stats["transport"].items()
                 ),
+            ),
+        ]
+    journal = getattr(service, "journal", None)
+    if journal is not None:
+        jstats = journal.stats()
+        families += [
+            MetricFamily(
+                "repro_journal_records_total",
+                "counter",
+                "Write-ahead journal records by kind",
+                (
+                    ({"kind": "admit"}, jstats.admitted),
+                    ({"kind": "terminal"}, sum(jstats.terminals.values())),
+                    ({"kind": "custom"}, jstats.custom),
+                ),
+            ),
+            MetricFamily(
+                "repro_journal_bytes_written_total",
+                "counter",
+                "Bytes appended to the write-ahead journal",
+                (({}, jstats.bytes_written),),
+            ),
+            MetricFamily(
+                "repro_journal_fsyncs_total",
+                "counter",
+                "fsync calls issued by the journal",
+                (({}, jstats.fsyncs),),
+            ),
+            MetricFamily(
+                "repro_journal_pending",
+                "gauge",
+                "Admitted-but-unsettled journal entries (replayed on recover)",
+                (({}, jstats.pending),),
+            ),
+            MetricFamily(
+                "repro_journal_segments",
+                "gauge",
+                "Live journal segment files on disk",
+                (({}, jstats.segments),),
+            ),
+            MetricFamily(
+                "repro_journal_checkpoints_total",
+                "counter",
+                "Watermark checkpoints written",
+                (({}, jstats.checkpoints),),
+            ),
+            MetricFamily(
+                "repro_journal_segments_compacted_total",
+                "counter",
+                "Fully-settled segments deleted by compaction",
+                (({}, jstats.compacted),),
+            ),
+            MetricFamily(
+                "repro_journal_torn_tails_total",
+                "counter",
+                "Torn segment tails truncated during replay",
+                (({}, jstats.torn_tails),),
+            ),
+        ]
+    recovery_stats = getattr(service, "recovery_stats", None)
+    if recovery_stats is not None:
+        rec = recovery_stats()
+        families += [
+            MetricFamily(
+                "repro_recovery_runs_total",
+                "counter",
+                "recover() invocations on this service",
+                (({}, rec["runs"]),),
+            ),
+            MetricFamily(
+                "repro_recovery_requests_total",
+                "counter",
+                "Journal entries replayed through recovery, by outcome",
+                (
+                    ({"outcome": "recovered"}, rec["recovered"]),
+                    ({"outcome": "failed"}, rec["failed"]),
+                ),
+            ),
+            MetricFamily(
+                "repro_recovery_last_replayed",
+                "gauge",
+                "Entries replayed by the most recent recover()",
+                (({}, rec["last_replayed"]),),
+            ),
+            MetricFamily(
+                "repro_recovery_last_duration_seconds",
+                "gauge",
+                "Wall seconds the most recent recover() took",
+                (({}, rec["last_duration"]),),
             ),
         ]
     cluster_stats = getattr(type(service.engine.backend), "cluster_stats", None)

@@ -15,6 +15,7 @@ File layout (one npz):
 
 from __future__ import annotations
 
+import io
 from pathlib import Path
 
 import numpy as np
@@ -23,6 +24,7 @@ from repro.config import WorldConfig
 from repro.core.output import LabelOutput, ModelOutput
 from repro.data.datasets import DataItem
 from repro.data.semantics import SceneContent
+from repro.durability.checkpoint import atomic_write_bytes
 from repro.zoo.model import ModelZoo
 from repro.zoo.oracle import GroundTruth
 
@@ -50,8 +52,9 @@ def save_ground_truth(truth: GroundTruth, path: str | Path) -> None:
         np.concatenate(label_ids) if label_ids else np.zeros(0, dtype=np.int64)
     )
     flat_confs = np.concatenate(confs) if confs else np.zeros(0)
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
+        buffer,
         version=np.asarray(_FORMAT_VERSION),
         item_ids=np.asarray(item_ids),
         model_names=np.asarray(truth.zoo.names),
@@ -60,6 +63,13 @@ def save_ground_truth(truth: GroundTruth, path: str | Path) -> None:
         flat_label_ids=flat_ids,
         flat_confidences=flat_confs,
     )
+    # Match np.savez's filename convention, then land the archive
+    # atomically — a crash mid-save leaves the previous archive (or
+    # nothing), never a torn .npz another process would fail to load.
+    final = Path(path)
+    if final.suffix != ".npz":
+        final = final.with_name(final.name + ".npz")
+    atomic_write_bytes(final, buffer.getvalue())
 
 
 def load_ground_truth(

@@ -113,6 +113,11 @@ class LabelingRequest:
     #: Live :class:`~repro.obs.trace.RequestTrace` span following this
     #: request through the pipeline (``None`` without tracing).
     trace: object | None = None
+    #: Write-ahead journal sequence of this request's admission record
+    #: (``None`` when the service runs without a journal, or for replayed
+    #: requests whose original admission record is settled by the
+    #: recovery callback instead).
+    journal_seq: int | None = None
     #: Resolves to a :class:`~repro.engine.results.LabelingResult` or an error.
     future: Future = field(default_factory=Future)
 

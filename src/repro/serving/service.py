@@ -60,6 +60,20 @@ stops admission and waits until every admitted request has resolved;
 ``shutdown()`` additionally stops the threads, failing any still-queued
 requests with :class:`ServiceStopped`.  ``with service:`` does
 start/drain/shutdown automatically.
+
+Durability: constructed with a
+:class:`~repro.durability.journal.Journal` (or a directory path), the
+service write-ahead-logs every first-flight admission *before* the
+request becomes completable and logs its terminal outcome from
+:meth:`_resolve` — so after a crash, ``admitted − terminal`` is exactly
+the acknowledged work the process still owes.  :meth:`recover` replays
+that gap through the normal submission path: with a result cache the
+replay is idempotent (duplicates coalesce onto one flight) and, because
+scheduling is deterministic over recorded truth, each re-executed
+request produces an identical result trace.  Under the journal's
+``batch`` fsync policy the service flushes at micro-batch boundaries;
+``always`` makes every acknowledged admission durable before
+``submit()`` returns.
 """
 
 from __future__ import annotations
@@ -71,8 +85,12 @@ import time
 import warnings
 from collections.abc import Iterable
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
 
 from repro.data.datasets import DataItem
+from repro.durability.journal import Journal
 from repro.engine.backends import ExecutionBackend
 from repro.engine.config import BackendConfig
 from repro.engine.engine import LabelingEngine
@@ -119,6 +137,70 @@ def _warn_submit_shim(old: str, new: str) -> None:
         DeprecationWarning,
         stacklevel=3,
     )
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`LabelingService.recover` pass replayed.
+
+    ``replayed`` counts journal entries that were admitted but had no
+    terminal outcome when the journal was last opened; ``recovered`` /
+    ``failed`` count the ones whose re-execution has settled; ``pending``
+    is what is still in flight (always 0 after a successful blocking
+    :meth:`~LabelingService.recover`).
+    """
+
+    replayed: int
+    recovered: int
+    failed: int
+    pending: int
+    duration: float
+    #: The replayed requests' futures, in journal order.
+    futures: list[Future] = field(default_factory=list, repr=False)
+
+
+class _RecoveryRun:
+    """Per-``recover()`` accounting: counts conclusions, signals done.
+
+    Terminal records are written from future callbacks on worker
+    threads; waiting on this event (instead of the futures) guarantees
+    the journal already holds every terminal when the waiter proceeds
+    to checkpoint.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._expected: int | None = None
+        self._recovered = 0
+        self._failed = 0
+        self._done = threading.Event()
+
+    def _maybe_finish_locked(self) -> None:
+        if (
+            self._expected is not None
+            and self._recovered + self._failed >= self._expected
+        ):
+            self._done.set()
+
+    def expect(self, n: int) -> None:
+        with self._lock:
+            self._expected = n
+            self._maybe_finish_locked()
+
+    def conclude(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self._recovered += 1
+            else:
+                self._failed += 1
+            self._maybe_finish_locked()
+
+    def wait(self, timeout: float | None) -> bool:
+        return self._done.wait(timeout)
+
+    def counts(self) -> tuple[int, int]:
+        with self._lock:
+            return self._recovered, self._failed
 
 
 def _terminal_stage(error: BaseException | None) -> str:
@@ -210,6 +292,15 @@ class LabelingService:
         (``admitted → queued → batched → scheduled → completed/...``,
         with cache-hit/coalesced short-circuits) that retires into the
         buffer's ring, tailable via ``/traces`` and ``repro.cli trace``.
+    journal / journal_fsync:
+        Optional write-ahead :class:`~repro.durability.journal.Journal`
+        (or a directory path to open one in, with ``journal_fsync``
+        policy).  Every first-flight admission is journaled before its
+        request can settle and its terminal outcome is journaled from
+        :meth:`_resolve`; after a crash, :meth:`recover` replays the
+        admitted-minus-terminal gap.  A journal the service opened from
+        a path is closed at :meth:`shutdown`; a caller-built instance
+        stays the caller's to close.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -235,6 +326,8 @@ class LabelingService:
         queue_factory=None,
         registry: MetricsRegistry | None = None,
         tracer: TraceBuffer | None = None,
+        journal: Journal | str | Path | None = None,
+        journal_fsync: str = "batch",
         clock=time.monotonic,
         telemetry: ServiceTelemetry | None = None,
     ):
@@ -290,6 +383,21 @@ class LabelingService:
             )
         self.telemetry = telemetry or ServiceTelemetry(clock=clock)
         self.tracer = tracer
+        # Like backends: a journal opened from a path is the service's to
+        # close; a caller-built instance may outlive the service.
+        self._owns_journal = isinstance(journal, (str, Path))
+        if self._owns_journal:
+            journal = Journal(journal, fsync=journal_fsync)
+        self.journal: Journal | None = journal
+        self._recovery_lock = threading.Lock()
+        self._recovery = {
+            "runs": 0,
+            "replayed": 0,
+            "recovered": 0,
+            "failed": 0,
+            "last_replayed": 0,
+            "last_duration": 0.0,
+        }
         self.registry = registry
         if registry is not None:
             # Imported here, not at module top, purely for layering taste:
@@ -409,8 +517,15 @@ class LabelingService:
         deadline: float | None = None,
         timeout: float | None = None,
         nowait: bool = False,
+        _journal: bool = True,
     ) -> Future:
-        """Synchronous admission core shared by every :meth:`submit` mode."""
+        """Synchronous admission core shared by every :meth:`submit` mode.
+
+        ``_journal=False`` is the recovery path: the replayed request's
+        original admission record is already in the journal, and its
+        terminal is written by the recovery callback against that old
+        seq — re-journaling would double-count the work.
+        """
         resolved = self._request_spec(spec, priority)
         request = LabelingRequest(
             item=item,
@@ -451,11 +566,21 @@ class LabelingService:
             # request (or a transiently negative pending count).
             self._pending += 1
         try:
+            # WAL discipline: the admission record lands before the
+            # request becomes poppable (and thus completable).  A crash
+            # after this point is recoverable; a put failure below writes
+            # the matching terminal so the record does not replay.
+            if self.journal is not None and _journal:
+                request.journal_seq = self.journal.log_admission(
+                    item, resolved, deadline
+                )
             self.queue.put(request, timeout=timeout, nowait=nowait)
         except BaseException as exc:
             with self._state:
                 self._pending -= 1
                 self._state.notify_all()
+            if request.journal_seq is not None:
+                self._journal_terminal(request.journal_seq, _terminal_stage(exc))
             if isinstance(exc, DeadlineExpired):
                 self.telemetry.count("expired")
             elif isinstance(exc, QueueFull):
@@ -588,13 +713,21 @@ class LabelingService:
                 raise error
             self._pending += len(requests)
         try:
+            if self.journal is not None:
+                for request in requests:
+                    request.journal_seq = self.journal.log_admission(
+                        request.item, resolved, deadline
+                    )
             outcome = self.queue.put_many(requests, timeout=timeout, nowait=nowait)
         except BaseException as exc:
             with self._state:
                 self._pending -= len(requests)
                 self._state.notify_all()
+            stage = _terminal_stage(exc)
             for request in requests:
-                self._finish_trace(request, _terminal_stage(exc))
+                if request.journal_seq is not None:
+                    self._journal_terminal(request.journal_seq, stage)
+                self._finish_trace(request, stage)
                 self._abort_claim(request, exc)
             raise
         self.telemetry.count("submitted", len(outcome.admitted))
@@ -755,6 +888,114 @@ class LabelingService:
         )
         return self
 
+    def recover(
+        self, *, wait: bool = True, timeout: float | None = None
+    ) -> RecoveryReport:
+        """Replay journaled admissions that never reached a terminal.
+
+        Starts the service if needed, then resubmits every pending
+        journal entry through the normal admission path — *without*
+        re-journaling it — and writes each entry's terminal outcome
+        (against its **original** seq) when its replayed future settles.
+        Replayed requests carry no admission deadline: the original
+        client was already told "admitted", so acknowledged work is
+        completed rather than re-expired.
+
+        With a result cache the replay is idempotent: duplicate
+        ``(item, batch_key)`` entries coalesce onto a single flight, and
+        every duplicate's original seq still gets its terminal from the
+        shared future.  Because scheduling is deterministic over recorded
+        truth, a replayed request re-executes to an identical trace.
+
+        With ``wait=True`` (default) the call blocks until every replay
+        has settled *and* its terminal is journaled (or ``timeout``
+        elapses), then flushes — and, when nothing is left pending,
+        checkpoints so the replayed segments compact away.
+        """
+        if self.journal is None:
+            raise ValueError("recover() requires a service journal")
+        entries = self.journal.pending_entries()
+        started = self._clock()
+        self.start()
+        run = _RecoveryRun()
+        futures: list[Future] = []
+        for entry in entries:
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.start(entry.item.item_id, "recovery")
+            try:
+                future = self._submit(entry.item, entry.spec, _journal=False)
+            except BaseException as exc:
+                stage = _terminal_stage(exc)
+                self._journal_terminal(entry.seq, stage)
+                if span is not None:
+                    self.tracer.finish(span, stage)
+                with self._recovery_lock:
+                    self._recovery["failed"] += 1
+                run.conclude(False)
+                continue
+            future.add_done_callback(
+                partial(self._conclude_recovery, entry.seq, span, run)
+            )
+            futures.append(future)
+        run.expect(len(entries))
+        if wait:
+            run.wait(timeout)
+            self._journal_flush()
+            recovered, failed = run.counts()
+            if entries and recovered + failed == len(entries):
+                try:
+                    self.journal.checkpoint()
+                except Exception:
+                    logger.exception("post-recovery checkpoint failed")
+        recovered, failed = run.counts()
+        duration = self._clock() - started
+        with self._recovery_lock:
+            self._recovery["runs"] += 1
+            self._recovery["replayed"] += len(entries)
+            self._recovery["last_replayed"] = len(entries)
+            self._recovery["last_duration"] = duration
+        if entries:
+            logger.info(
+                "recovery replayed %d journal entr%s: %d recovered, %d "
+                "failed, %d still in flight (%.3fs)",
+                len(entries),
+                "y" if len(entries) == 1 else "ies",
+                recovered,
+                failed,
+                len(entries) - recovered - failed,
+                duration,
+            )
+        return RecoveryReport(
+            replayed=len(entries),
+            recovered=recovered,
+            failed=failed,
+            pending=len(entries) - recovered - failed,
+            duration=duration,
+            futures=futures,
+        )
+
+    def _conclude_recovery(
+        self, seq: int, span, run: _RecoveryRun, future: Future
+    ) -> None:
+        """Settle one replayed entry: terminal for the *original* seq."""
+        try:
+            error = future.exception()
+        except BaseException as exc:
+            error = exc
+        stage = _terminal_stage(error)
+        self._journal_terminal(seq, stage)
+        if span is not None:
+            self.tracer.finish(span, stage)
+        with self._recovery_lock:
+            self._recovery["recovered" if error is None else "failed"] += 1
+        run.conclude(error is None)
+
+    def recovery_stats(self) -> dict:
+        """Cumulative recovery counters (exported as ``repro_recovery_*``)."""
+        with self._recovery_lock:
+            return dict(self._recovery)
+
     def drain(self, timeout: float | None = None) -> bool:
         """Stop admission and wait until every admitted request resolves.
 
@@ -777,6 +1018,7 @@ class LabelingService:
                 timeout,
                 self._pending,
             )
+        self._journal_flush()
         return drained
 
     def shutdown(self, wait: bool = True) -> None:
@@ -801,9 +1043,18 @@ class LabelingService:
             self._pool.shutdown(wait=wait)
         if self._owns_backend:
             self.engine.backend.close()
+        # Leftovers were journaled at admission; their ServiceStopped
+        # terminals (written by _resolve above) record that the *client*
+        # observed the failure — recover() replays only crash-lost work.
         for request in leftovers:
             self.telemetry.count("cancelled")
             self._resolve(request, error=ServiceStopped("service shut down"))
+        self._journal_flush()
+        if self.journal is not None and self._owns_journal:
+            try:
+                self.journal.close()
+            except Exception:
+                logger.exception("journal close failed")
         logger.info(
             "service shut down (%d queued request(s) cancelled)", len(leftovers)
         )
@@ -816,6 +1067,22 @@ class LabelingService:
         self.shutdown()
 
     # -- dispatch ------------------------------------------------------------
+
+    def _journal_terminal(self, seq: int, stage: str) -> None:
+        """Journal one terminal outcome; a failing disk never kills serving."""
+        try:
+            self.journal.log_terminal(seq, stage)
+        except Exception:
+            logger.exception("failed to journal terminal for seq %d", seq)
+
+    def _journal_flush(self) -> None:
+        """Flush the journal (batch-policy fsync point); log-don't-raise."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.flush()
+        except Exception:
+            logger.exception("journal flush failed")
 
     def _abort_claim(self, request: LabelingRequest, error: BaseException) -> None:
         """Fail a claimed cache key whose request never reached the queue.
@@ -852,6 +1119,8 @@ class LabelingService:
         else:
             request.future.set_result(result)
         stage = _terminal_stage(error)
+        if self.journal is not None and request.journal_seq is not None:
+            self._journal_terminal(request.journal_seq, stage)
         self._finish_trace(request, stage)
         spec = request.spec or self.default_spec
         if stage == "completed":
@@ -978,6 +1247,9 @@ class LabelingService:
                 self.telemetry.observe_service_time(elapsed)
                 self._resolve(request, result=result)
         finally:
+            # Micro-batch boundary = the ``batch`` fsync cadence: every
+            # terminal this batch settled becomes durable in one fsync.
+            self._journal_flush()
             with self._state:
                 self._in_flight -= len(batch)
                 self._state.notify_all()

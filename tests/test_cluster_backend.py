@@ -474,3 +474,66 @@ class TestServiceCluster:
             items, truth=truth
         )
         assert_parity(got, ref)
+
+
+class TestDialRetry:
+    """Worker dials retry transient refusals with jittered backoff."""
+
+    def retrying_backend(self, monkeypatch, failures: int, **kwargs):
+        kwargs.setdefault("connect_attempts", 3)
+        kwargs.setdefault("connect_backoff", 0.2)
+        backend = ClusterBackend(workers=("host:1",), **kwargs)
+        attempts, sleeps = [], []
+        sentinel = object()
+
+        def fake_link(address, timeout):
+            attempts.append((address, timeout))
+            if len(attempts) <= failures:
+                raise ConnectionRefusedError("worker still starting")
+            return sentinel
+
+        monkeypatch.setattr("repro.engine.cluster._Link", fake_link)
+        monkeypatch.setattr("repro.engine.cluster.time.sleep", sleeps.append)
+        return backend, attempts, sleeps, sentinel
+
+    def test_transient_refusal_retries_then_connects(self, monkeypatch):
+        backend, attempts, sleeps, sentinel = self.retrying_backend(
+            monkeypatch, failures=2
+        )
+        assert backend._dial("host:1") is sentinel
+        assert len(attempts) == 3
+        # jittered exponential backoff: base*[0.5,1.5], then doubled
+        assert len(sleeps) == 2
+        assert 0.1 <= sleeps[0] <= 0.3
+        assert 0.2 <= sleeps[1] <= 0.6
+
+    def test_exhausted_attempts_raise_the_last_error(self, monkeypatch):
+        backend, attempts, sleeps, _ = self.retrying_backend(
+            monkeypatch, failures=99
+        )
+        with pytest.raises(ConnectionRefusedError):
+            backend._dial("host:1")
+        assert len(attempts) == 3
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_single_attempt_never_sleeps(self, monkeypatch):
+        backend, attempts, sleeps, _ = self.retrying_backend(
+            monkeypatch, failures=99, connect_attempts=1
+        )
+        with pytest.raises(ConnectionRefusedError):
+            backend._dial("host:1")
+        assert (len(attempts), len(sleeps)) == (1, 0)
+
+    def test_config_fields_flow_through_build_and_validate(self):
+        config = ClusterConfig(
+            workers=("host:1",), connect_attempts=5, connect_backoff=0.01
+        )
+        backend = config.build()
+        assert (backend.connect_attempts, backend.connect_backoff) == (5, 0.01)
+        backend.close()
+        with pytest.raises(ValueError, match="connect_attempts"):
+            ClusterConfig(workers=("host:1",), connect_attempts=0)
+        with pytest.raises(ValueError, match="connect_backoff"):
+            ClusterConfig(workers=("host:1",), connect_backoff=-0.1)
+        with pytest.raises(ValueError, match="connect_attempts"):
+            ClusterBackend(workers=("host:1",), connect_attempts=0)

@@ -558,3 +558,116 @@ class TestMountedObservability:
         while any(gateway.tenant_inflight().values()):
             assert time.time() < deadline, gateway.tenant_inflight()
             time.sleep(0.02)
+
+
+# -- durable job store --------------------------------------------------------
+
+
+class TestJobDurability:
+    """Batch jobs survive a gateway + service restart via the job journal."""
+
+    def build_pair(self, engine, truth, dataset, tmp_path):
+        service = LabelingService(
+            engine,
+            truth=truth,
+            deadline=0.35,
+            batch_size=8,
+            max_wait=0.005,
+            cache_size=256,
+            journal=str(tmp_path / "service"),
+        )
+        service.start()
+        gw = LabelingGateway(
+            service, DIRECTORY, dataset, journal=str(tmp_path / "jobs")
+        ).start_background()
+        return service, gw
+
+    def poll_job(self, gw, job_id, want="done", timeout=15.0):
+        deadline = time.time() + timeout
+        while True:
+            status, _, body = call(gw, "GET", f"/v1/jobs/{job_id}")
+            assert status == 200
+            if body["status"] == want or time.time() > deadline:
+                return body
+            time.sleep(0.02)
+
+    def test_finished_job_survives_restart(
+        self, engine, truth, dataset, item_ids, tmp_path
+    ):
+        service, gw = self.build_pair(engine, truth, dataset, tmp_path)
+        try:
+            status, _, body = call(
+                gw, "POST", "/v1/label/batch",
+                {"items": item_ids[:4], "mode": "job"},
+            )
+            assert status == 202
+            job_id = body["job_id"]
+            finished = self.poll_job(gw, job_id)
+            assert finished["status"] == "done"
+        finally:
+            gw.stop_background()
+            service.shutdown()
+
+        service2, gw2 = self.build_pair(engine, truth, dataset, tmp_path)
+        try:
+            status, _, restored = call(gw2, "GET", f"/v1/jobs/{job_id}")
+            assert status == 200
+            assert restored["status"] == "done"
+            assert restored["results"] == finished["results"]
+            # tenant scoping survives the restart too
+            status, _, _ = call(
+                gw2, "GET", f"/v1/jobs/{job_id}", key="key-beta"
+            )
+            assert status == 404
+        finally:
+            gw2.stop_background()
+            service2.shutdown()
+
+    def test_unfinished_job_completes_via_cache_probes(
+        self, engine, truth, dataset, item_ids, tmp_path
+    ):
+        # A job that was created but never finished before the crash: the
+        # restored job answers "running", then turns "done" as recovery
+        # (here: fresh label traffic) lands its items in the result cache.
+        import pickle as _pickle
+
+        from repro.durability import Journal
+        from repro.serving import LabelingSpec
+        from repro.serving.gateway.app import _KIND_JOB_CREATE
+
+        spec = LabelingSpec.resolve(None, tenant="alpha")
+        journal = Journal(tmp_path / "jobs")
+        journal.append(
+            _KIND_JOB_CREATE,
+            _pickle.dumps(("feedfacecafe0001", "alpha", item_ids[:2], spec), 4),
+        )
+        journal.close()
+
+        service, gw = self.build_pair(engine, truth, dataset, tmp_path)
+        try:
+            status, _, body = call(gw, "GET", "/v1/jobs/feedfacecafe0001")
+            assert status == 200
+            assert body["status"] == "running"
+            assert {row["status"] for row in body["results"]} == {"pending"}
+            for item_id in item_ids[:2]:
+                status, _, _body = call(
+                    gw, "POST", "/v1/label", {"item_id": item_id}
+                )
+                assert status == 200
+            body = self.poll_job(gw, "feedfacecafe0001")
+            assert body["status"] == "done"
+            assert [row["item_id"] for row in body["results"]] == item_ids[:2]
+            assert all(row["status"] == "completed" for row in body["results"])
+        finally:
+            gw.stop_background()
+            service.shutdown()
+
+        # the assembled results were persisted: a second restart serves
+        # them without any cache to probe
+        service2, gw2 = self.build_pair(engine, truth, dataset, tmp_path)
+        try:
+            status, _, again = call(gw2, "GET", "/v1/jobs/feedfacecafe0001")
+            assert status == 200 and again["status"] == "done"
+        finally:
+            gw2.stop_background()
+            service2.shutdown()

@@ -94,3 +94,82 @@ class TestCLI:
             "--memory", "8000", "--items", "5", "--verbose",
         ]) == 0
         assert "memory=8000" in capsys.readouterr().out
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_residue_and_appends_npz(self, truth, tmp_path):
+        save_ground_truth(truth, tmp_path / "bare")  # numpy convention: +.npz
+        assert (tmp_path / "bare.npz").exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["bare.npz"]
+
+    def test_failed_save_leaves_previous_archive_loadable(
+        self, truth, zoo, world_config, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "gt.npz"
+        save_ground_truth(truth, path)
+        before = path.read_bytes()
+        monkeypatch.setattr(
+            os, "replace", lambda *a: (_ for _ in ()).throw(OSError("disk full"))
+        )
+        with pytest.raises(OSError, match="disk full"):
+            save_ground_truth(truth, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["gt.npz"]
+        loaded = load_ground_truth(zoo, path, world_config)
+        assert len(loaded) == len(truth)
+
+
+class TestManifestResumeCLI:
+    def test_schedule_manifest_then_resume(self, tmp_path, capsys):
+        from repro.durability import RunManifest
+
+        gt_path = tmp_path / "gt.npz"
+        agent_path = tmp_path / "agent.npz"
+        manifest_path = tmp_path / "run.json"
+        base = ["--scale", "mini"]
+        assert main(base + [
+            "record", "--dataset", "mscoco2017", "--items", "60",
+            "--out", str(gt_path),
+        ]) == 0
+        assert main(base + [
+            "train", "--truth", str(gt_path), "--algo", "dqn",
+            "--episodes", "20", "--hidden", "16", "--out", str(agent_path),
+        ]) == 0
+        schedule = base + [
+            "schedule", "--truth", str(gt_path), "--agent", str(agent_path),
+            "--algo", "dqn", "--hidden", "16", "--deadline", "0.3",
+            "--items", "8", "--manifest", str(manifest_path),
+        ]
+        assert main(schedule) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.done == 8 and manifest.remaining == []
+
+        # simulate a kill: forget the last three completions
+        for item_id in manifest.item_ids[-3:]:
+            del manifest.completed[item_id]
+        manifest.save()
+        assert main(schedule + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        assert "(5 resumed from manifest)" in out
+        reloaded = RunManifest.load(manifest_path)
+        assert reloaded.done == 8 and reloaded.remaining == []
+
+        # a fresh (non-resume) run refuses to clobber an existing manifest
+        with pytest.raises(SystemExit, match="--resume"):
+            main(schedule)
+
+        # fully-done manifest: resume is a clean no-op
+        assert main(schedule + ["--resume"]) == 0
+        assert "nothing left to schedule" in capsys.readouterr().out
+
+    def test_resume_requires_manifest(self, tmp_path):
+        with pytest.raises(SystemExit, match="--resume requires --manifest"):
+            main([
+                "--scale", "mini", "schedule", "--truth", "x", "--agent", "y",
+                "--resume",
+            ])
